@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Figure 10 regeneration — the headline result. End-to-end speedup of
+ * RingORAM, PageORAM, PrORAM (best prefetch length w/ Fat Tree),
+ * IR-ORAM, Palermo-SW, Palermo, and Palermo+Prefetch (same pf as
+ * PrORAM's pick) over the PathORAM baseline, across the Table II
+ * workload mix, with the geometric mean.
+ *
+ * Paper bars (gmean): Ring 1.1x, Page 1.2x, PrORAM 1.7x, IR 1.1x,
+ * Palermo-SW 1.2x, Palermo 2.4x, Palermo+Prefetch 3.1x.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hh"
+#include "common/stats.hh"
+#include "sim/experiment.hh"
+
+using namespace palermo;
+using namespace palermo::bench;
+
+namespace {
+
+/** PrORAM's per-workload best prefetch length (paper: swept). */
+unsigned
+bestPrefetchFor(Workload workload, const SystemConfig &config,
+                const RunMetrics &path_base)
+{
+    unsigned best_pf = 1;
+    double best = 0.0;
+    for (unsigned pf : {2u, 4u, 8u}) {
+        SystemConfig c = config;
+        c.protocol.prefetchLen = pf;
+        c.protocol.fatTree = true;
+        c.protocol.throttle = true;
+        const RunMetrics m =
+            runExperiment(ProtocolKind::PrOram, workload, c);
+        const double speedup = speedupOver(path_base, m);
+        if (speedup > best) {
+            best = speedup;
+            best_pf = pf;
+        }
+    }
+    return best_pf;
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    SystemConfig config = SystemConfig::benchDefault();
+    banner("Fig. 10 -- end-to-end speedup over PathORAM (Table II mix)",
+           "gmean: Ring 1.1x Page 1.2x PrORAM 1.7x IR 1.1x "
+           "Palermo-SW 1.2x Palermo 2.4x Palermo+Pf 3.1x",
+           config);
+
+    struct Bar
+    {
+        const char *name;
+        ProtocolKind kind;
+    };
+    const Bar bars[] = {
+        {"RingORAM", ProtocolKind::RingOram},
+        {"PageORAM", ProtocolKind::PageOram},
+        {"PrORAM", ProtocolKind::PrOram},
+        {"IR-ORAM", ProtocolKind::IrOram},
+        {"Palermo-SW", ProtocolKind::PalermoSw},
+        {"Palermo", ProtocolKind::Palermo},
+        {"Palermo+Pf", ProtocolKind::PalermoPrefetch},
+    };
+
+    std::printf("\n%-10s", "workload");
+    for (const Bar &bar : bars)
+        std::printf("%12s", bar.name);
+    std::printf("%8s\n", "pf");
+
+    std::map<std::string, std::vector<double>> speedups;
+    double palermo_misses_per_s = 0.0;
+    double ring_misses_per_s = 0.0;
+
+    for (Workload workload : allWorkloads()) {
+        const RunMetrics path_base =
+            runExperiment(ProtocolKind::PathOram, workload, config);
+        const unsigned pf = bestPrefetchFor(workload, config, path_base);
+
+        std::printf("%-10s", workloadName(workload));
+        for (const Bar &bar : bars) {
+            SystemConfig c = config;
+            if (bar.kind == ProtocolKind::PrOram) {
+                c.protocol.prefetchLen = pf;
+                c.protocol.fatTree = true;
+                c.protocol.throttle = true;
+            } else if (bar.kind == ProtocolKind::PalermoPrefetch) {
+                // Same pf as PrORAM picks: identical LLC-miss traffic.
+                c.protocol.prefetchLen = pf;
+            }
+            const RunMetrics m = runExperiment(bar.kind, workload, c);
+            const double speedup = speedupOver(path_base, m);
+            speedups[bar.name].push_back(speedup);
+            std::printf("%11.2fx", speedup);
+            if (bar.kind == ProtocolKind::Palermo)
+                palermo_misses_per_s += m.missesPerSecond / 10;
+            if (bar.kind == ProtocolKind::RingOram)
+                ring_misses_per_s += m.missesPerSecond / 10;
+        }
+        std::printf("%8u\n", pf);
+    }
+
+    std::printf("%-10s", "gmean");
+    for (const Bar &bar : bars)
+        std::printf("%11.2fx", geomean(speedups[bar.name]));
+    std::printf("\n");
+
+    std::printf("\nabsolute throughput (paper: Palermo 3.8E6, RingORAM "
+                "1.7E6 misses/s on the full testbed)\n");
+    std::printf("Palermo : %.2e LLC misses/s\n", palermo_misses_per_s);
+    std::printf("RingORAM: %.2e LLC misses/s\n", ring_misses_per_s);
+    std::printf("Palermo/RingORAM = %.2fx (paper: 2.8x)\n",
+                palermo_misses_per_s / ring_misses_per_s);
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 11 regeneration: DRAM bandwidth utilization and average
+ * outstanding memory-controller requests, RingORAM vs Palermo without
+ * prefetch (identical total DRAM traffic). Paper: Palermo enqueues
+ * ~2.8x more outstanding requests, lifting utilization ~2.2x.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "sim/experiment.hh"
+
+using namespace palermo;
+using namespace palermo::bench;
+
+int
+main()
+{
+    setVerbose(false);
+    const SystemConfig config = SystemConfig::benchDefault();
+    banner("Fig. 11 -- bandwidth utilization & outstanding requests",
+           "Palermo vs RingORAM (no prefetch): ~2.8x outstanding, "
+           "~2.2x bandwidth utilization",
+           config);
+
+    std::printf("\n%-10s%14s%14s%14s%14s\n", "workload", "Ring-bw%",
+                "Palermo-bw%", "Ring-outst", "Palermo-outst");
+    double bw_ratio = 0.0;
+    double out_ratio = 0.0;
+    const auto workloads = deepDiveWorkloads();
+    for (Workload workload : workloads) {
+        const RunMetrics ring =
+            runExperiment(ProtocolKind::RingOram, workload, config);
+        const RunMetrics palermo =
+            runExperiment(ProtocolKind::Palermo, workload, config);
+        std::printf("%-10s%14.1f%14.1f%14.1f%14.1f\n",
+                    workloadName(workload), ring.bwUtilization * 100,
+                    palermo.bwUtilization * 100, ring.avgOutstanding,
+                    palermo.avgOutstanding);
+        bw_ratio += palermo.bwUtilization / ring.bwUtilization
+            / workloads.size();
+        out_ratio += palermo.avgOutstanding / ring.avgOutstanding
+            / workloads.size();
+    }
+    std::printf("\noutstanding-request ratio : %.2fx (paper: 2.8x)\n",
+                out_ratio);
+    std::printf("bandwidth-utilization ratio: %.2fx (paper: 2.2x)\n",
+                bw_ratio);
+    return 0;
+}

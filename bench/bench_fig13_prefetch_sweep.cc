@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 13 regeneration: Palermo performance across prefetch lengths
+ * (pf = 1, 2, 4, 8), normalized to PathORAM. Paper: for moderate-
+ * locality workloads Palermo only moderately changes with pf and always
+ * beats PathORAM; embedding workloads (llm) peak when pf approaches the
+ * embedding-row size.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "sim/experiment.hh"
+
+using namespace palermo;
+using namespace palermo::bench;
+
+int
+main()
+{
+    setVerbose(false);
+    const SystemConfig config = SystemConfig::benchDefault();
+    banner("Fig. 13 -- Palermo prefetch-length sensitivity",
+           "insensitive for moderate-locality workloads; row-sized pf "
+           "maximizes embedding workloads; always above PathORAM",
+           config);
+
+    std::printf("\n%-10s%12s%12s%12s%12s (x over PathORAM)\n",
+                "workload", "nopf", "pf=2", "pf=4", "pf=8");
+    for (Workload workload : deepDiveWorkloads()) {
+        const RunMetrics path_base =
+            runExperiment(ProtocolKind::PathOram, workload, config);
+        std::printf("%-10s", workloadName(workload));
+        for (unsigned pf : {1u, 2u, 4u, 8u}) {
+            SystemConfig c = config;
+            c.protocol.prefetchLen = pf;
+            const ProtocolKind kind = pf == 1
+                ? ProtocolKind::Palermo : ProtocolKind::PalermoPrefetch;
+            const RunMetrics m = runExperiment(kind, workload, c);
+            std::printf("%11.2fx", speedupOver(path_base, m));
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 14 regeneration: (a) RingORAM protocol-parameter sweep — the
+ * valid (Z, S, A) points from the RingORAM paper, normalized to
+ * (4, 5, 3); Palermo prefers larger (S, A) because they create fewer
+ * write barriers (paper: up to ~1.8x). (b) PE-column sweep on rand:
+ * throughput saturates around 3x8 PEs (~2.2x over 3x1).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "sim/experiment.hh"
+
+using namespace palermo;
+using namespace palermo::bench;
+
+int
+main()
+{
+    setVerbose(false);
+    const SystemConfig config = SystemConfig::benchDefault();
+    banner("Fig. 14 -- sensitivity to (Z, S, A) and PE count",
+           "(a) larger (Z,S,A) up to ~1.8x over (4,5,3); "
+           "(b) 3x8 PEs ~2.2x over 3x1, then saturates",
+           config);
+
+    std::printf("\n(a) (Z, S, A) sweep on rand, Palermo, vs (4,5,3)\n");
+    struct Zsa
+    {
+        unsigned z, s, a;
+    };
+    const Zsa points[] = {{4, 5, 3}, {8, 12, 8}, {16, 27, 20},
+                          {32, 56, 42}};
+    double base_throughput = 0.0;
+    std::printf("%-14s%14s%14s\n", "(Z,S,A)", "speedup(x)",
+                "stash-max");
+    for (const Zsa &p : points) {
+        SystemConfig c = config;
+        c.protocol.ringZ = p.z;
+        c.protocol.ringS = p.s;
+        c.protocol.ringA = p.a;
+        const RunMetrics m =
+            runExperiment(ProtocolKind::Palermo, Workload::Random, c);
+        if (base_throughput == 0.0)
+            base_throughput = m.requestsPerKilocycle;
+        char label[32];
+        std::snprintf(label, sizeof(label), "(%u,%u,%u)", p.z, p.s, p.a);
+        std::printf("%-14s%13.2fx%14zu\n", label,
+                    m.requestsPerKilocycle / base_throughput, m.stashMax);
+    }
+
+    std::printf("\n(b) PE-column sweep on rand, vs 3x1\n");
+    std::printf("%-14s%14s%14s%14s\n", "PE columns", "speedup(x)",
+                "bw-util%", "out.reqs");
+    double pe1_throughput = 0.0;
+    for (unsigned columns : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        SystemConfig c = config;
+        c.palermo.columns = columns;
+        const RunMetrics m =
+            runExperiment(ProtocolKind::Palermo, Workload::Random, c);
+        if (pe1_throughput == 0.0)
+            pe1_throughput = m.requestsPerKilocycle;
+        char label[32];
+        std::snprintf(label, sizeof(label), "3x%u", columns);
+        std::printf("%-14s%13.2fx%14.1f%14.1f\n", label,
+                    m.requestsPerKilocycle / pe1_throughput,
+                    m.bwUtilization * 100, m.avgOutstanding);
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 15 regeneration: area and power of the full Palermo ORAM
+ * controller from the analytical 28nm model (substituting the paper's
+ * Synopsys DC + CACTI flow; DESIGN.md item 18). Paper totals:
+ * 5.78 mm^2 and 2.14 W at 1.6 GHz, dominated by the on-chip memories.
+ * Also prints the scaling the RTL flow would explore: PE columns and
+ * tree-top capacity.
+ */
+
+#include <cstdio>
+
+#include "power/area_power.hh"
+
+using namespace palermo;
+
+int
+main()
+{
+    std::printf("====================================================\n");
+    std::printf("Fig. 15 -- Palermo controller area & power (28nm)\n");
+    std::printf("paper: 5.78 mm^2, 2.14 W at 1.6 GHz\n");
+    std::printf("----------------------------------------------------\n");
+
+    const ControllerFloorplan plan; // Table III floorplan.
+    const AreaPowerEstimate est = estimateController(plan);
+    std::printf("%-22s%12s%12s\n", "component", "area(mm^2)", "power(W)");
+    for (const auto &component : est.components) {
+        std::printf("%-22s%12.3f%12.3f\n", component.name.c_str(),
+                    component.areaMm2, component.powerW);
+    }
+    std::printf("%-22s%12.3f%12.3f\n", "TOTAL", est.totalAreaMm2(),
+                est.totalPowerW());
+
+    std::printf("\nscaling: PE columns (3 rows each)\n");
+    std::printf("%-10s%14s%14s\n", "columns", "area(mm^2)", "power(W)");
+    for (unsigned columns : {1u, 4u, 8u, 16u, 32u}) {
+        ControllerFloorplan p = plan;
+        p.peColumns = columns;
+        const AreaPowerEstimate e = estimateController(p);
+        std::printf("%-10u%14.3f%14.3f\n", columns, e.totalAreaMm2(),
+                    e.totalPowerW());
+    }
+
+    std::printf("\nscaling: tree-top cache capacity (total)\n");
+    std::printf("%-10s%14s%14s\n", "KB", "area(mm^2)", "power(W)");
+    for (unsigned kb : {192u, 384u, 768u, 1536u}) {
+        ControllerFloorplan p = plan;
+        p.treetopBytesTotal = static_cast<std::uint64_t>(kb) * 1024;
+        const AreaPowerEstimate e = estimateController(p);
+        std::printf("%-10u%14.3f%14.3f\n", kb, e.totalAreaMm2(),
+                    e.totalPowerW());
+    }
+
+    std::printf("\n(comparison: the Phantom FPGA controller [13,30] "
+                "runs at 200 MHz and exceeds 20 mm^2.)\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration benches: consistent
+ * headers, table formatting, and the paper-reference annotations that
+ * EXPERIMENTS.md cross-checks.
+ */
+
+#ifndef PALERMO_BENCH_BENCH_UTIL_HH
+#define PALERMO_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "sim/system_config.hh"
+#include "trace/trace_gen.hh"
+
+namespace palermo {
+namespace bench {
+
+/** Print the standard bench banner with the live configuration. */
+inline void
+banner(const char *figure, const char *claim, const SystemConfig &config)
+{
+    std::printf("================================================="
+                "=============================\n");
+    std::printf("%s\n", figure);
+    std::printf("paper: %s\n", claim);
+    std::printf("-------------------------------------------------"
+                "-----------------------------\n");
+    std::printf("%s", config.describe().c_str());
+    std::printf("-------------------------------------------------"
+                "-----------------------------\n");
+}
+
+/** Print one row of right-aligned numeric cells after a label. */
+inline void
+row(const std::string &label, const std::vector<double> &cells,
+    const char *fmt = "%10.2f")
+{
+    std::printf("%-14s", label.c_str());
+    for (double cell : cells)
+        std::printf(fmt, cell);
+    std::printf("\n");
+}
+
+/** Print a header row of right-aligned column names. */
+inline void
+head(const std::string &label, const std::vector<std::string> &names)
+{
+    std::printf("%-14s", label.c_str());
+    for (const auto &name : names)
+        std::printf("%10s", name.c_str());
+    std::printf("\n");
+}
+
+/** The four workloads the paper's deep-dive figures use. */
+inline std::vector<Workload>
+deepDiveWorkloads()
+{
+    return {Workload::Mcf, Workload::PageRank, Workload::Llm,
+            Workload::Redis};
+}
+
+} // namespace bench
+} // namespace palermo
+
+#endif // PALERMO_BENCH_BENCH_UTIL_HH

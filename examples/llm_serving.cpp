@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Oblivious LLM token-table serving: the paper's introduction scenario.
+ * A GPT-2-style decode loop looks up token embeddings in outsourced
+ * memory; without ORAM the bus trace reconstructs the prompt. This
+ * example serves the llm workload through RingORAM and Palermo, compares
+ * decode throughput, and shows the timing side channel carries ~zero
+ * information about whether a token was recently used (stash hit).
+ *
+ * Build & run:  ./build/examples/llm_serving
+ */
+
+#include <cstdio>
+
+#include "common/log.hh"
+#include "security/mutual_info.hh"
+#include "sim/experiment.hh"
+
+using namespace palermo;
+
+int
+main()
+{
+    setVerbose(false);
+    SystemConfig config;
+    config.protocol.numBlocks = 1 << 16; // 4 MB token feature table.
+    config.protocol.treetopBytes = {32 * 1024, 8 * 1024, 4 * 1024};
+    config.totalRequests = 1500;
+
+    std::printf("oblivious token-table serving (llm workload, %llu-line "
+                "table)\n\n",
+                (unsigned long long)config.protocol.numBlocks);
+
+    const RunMetrics ring =
+        runExperiment(ProtocolKind::RingOram, Workload::Llm, config);
+    const RunMetrics palermo =
+        runExperiment(ProtocolKind::Palermo, Workload::Llm, config);
+
+    // Embedding rows are 8 lines; Fig. 13 says row-sized prefetch is
+    // the sweet spot for embedding workloads.
+    SystemConfig pf_config = config;
+    pf_config.protocol.prefetchLen = 8;
+    const RunMetrics prefetch = runExperiment(
+        ProtocolKind::PalermoPrefetch, Workload::Llm, pf_config);
+
+    std::printf("%-22s%16s%14s%12s\n", "design", "misses/s",
+                "bw-util%", "speedup");
+    std::printf("%-22s%16.3e%14.1f%12s\n", "RingORAM",
+                ring.missesPerSecond, ring.bwUtilization * 100, "1.00x");
+    std::printf("%-22s%16.3e%14.1f%11.2fx\n", "Palermo",
+                palermo.missesPerSecond, palermo.bwUtilization * 100,
+                speedupOver(ring, palermo));
+    std::printf("%-22s%16.3e%14.1f%11.2fx\n", "Palermo+Prefetch(8)",
+                prefetch.missesPerSecond, prefetch.bwUtilization * 100,
+                speedupOver(ring, prefetch));
+
+    std::printf("\ntiming side channel (Palermo):\n");
+    const double mi = palermo.samples.empty()
+        ? 0.0 : mutualInformationOf(palermo.samples);
+    std::printf("  response latency p50/p90: %.0f / %.0f cycles\n",
+                palermo.latency.quantile(0.5),
+                palermo.latency.quantile(0.9));
+    std::printf("  mutual information (Eq. 1): %.6f bits\n", mi);
+    std::printf("  -> near zero: an attacker timing the bus learns "
+                "essentially nothing about which tokens the prompt\n"
+                "     reuses (the estimate converges to 0 with sample "
+                "count; see EXPERIMENTS.md on Fig. 9).\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Trace explorer: a CLI driver over the experiment runner. Pick any
+ * Table II workload and any design point, run it, and get the full
+ * metric set — the fastest way to poke at the system.
+ *
+ * Usage: trace_explorer [workload] [protocol] [requests]
+ *   workload: mcf lbm pr motif rm1 rm2 llm redis stream random
+ *   protocol: path ring page pr ir palermo-sw palermo palermo-pf
+ *   requests: positive integer (default 1000)
+ *
+ * Example:  ./build/examples/trace_explorer redis palermo 2000
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/log.hh"
+#include "security/mutual_info.hh"
+#include "sim/experiment.hh"
+
+using namespace palermo;
+
+namespace {
+
+ProtocolKind
+parseKind(const std::string &name)
+{
+    if (name == "path") return ProtocolKind::PathOram;
+    if (name == "ring") return ProtocolKind::RingOram;
+    if (name == "page") return ProtocolKind::PageOram;
+    if (name == "pr") return ProtocolKind::PrOram;
+    if (name == "ir") return ProtocolKind::IrOram;
+    if (name == "palermo-sw") return ProtocolKind::PalermoSw;
+    if (name == "palermo") return ProtocolKind::Palermo;
+    if (name == "palermo-pf") return ProtocolKind::PalermoPrefetch;
+    fatal("unknown protocol '%s'", name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const std::string workload_name = argc > 1 ? argv[1] : "redis";
+    const std::string protocol_name = argc > 2 ? argv[2] : "palermo";
+    const std::uint64_t requests =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1000;
+
+    const Workload workload = workloadFromName(workload_name);
+    const ProtocolKind kind = parseKind(protocol_name);
+
+    SystemConfig config = SystemConfig::benchDefault();
+    config.totalRequests = requests;
+    if (kind == ProtocolKind::PrOram
+        || kind == ProtocolKind::PalermoPrefetch) {
+        config.protocol.prefetchLen = 4;
+        config.protocol.fatTree = (kind == ProtocolKind::PrOram);
+    }
+
+    std::printf("running %s under %s (%llu requests)\n",
+                workloadName(workload), protocolKindName(kind),
+                (unsigned long long)requests);
+    std::printf("%s\n", config.describe().c_str());
+
+    const RunMetrics m = runExperiment(kind, workload, config);
+
+    std::printf("throughput        : %.3f misses/kilocycle "
+                "(%.3e misses/s)\n",
+                m.requestsPerKilocycle, m.missesPerSecond);
+    std::printf("measured window   : %llu requests, %llu cycles\n",
+                (unsigned long long)m.measuredRequests,
+                (unsigned long long)m.measuredCycles);
+    std::printf("bandwidth util    : %.1f%%\n", m.bwUtilization * 100);
+    std::printf("avg outstanding   : %.1f DRAM requests\n",
+                m.avgOutstanding);
+    std::printf("row buffer        : %.1f%% hits, %.1f%% conflicts\n",
+                m.rowHitRate * 100, m.rowConflictRate * 100);
+    std::printf("DRAM traffic      : %llu reads, %llu writes "
+                "(%.0f reads + %.0f writes per miss)\n",
+                (unsigned long long)m.dramReads,
+                (unsigned long long)m.dramWrites, m.readsPerRequest,
+                m.writesPerRequest);
+    std::printf("controller stalls : %.1f%% ORAM-sync\n",
+                m.syncFraction * 100);
+    std::printf("latency p10/50/90 : %.0f / %.0f / %.0f cycles\n",
+                m.latency.quantile(0.1), m.latency.quantile(0.5),
+                m.latency.quantile(0.9));
+    std::printf("stash             : max %zu of %zu%s\n", m.stashMax,
+                m.stashCapacity,
+                m.stashOverflowed ? "  !! OVERFLOWED" : "");
+    std::printf("requests          : %llu served, %llu dummies "
+                "(%.1f%%), %llu LLC hits\n",
+                (unsigned long long)m.served,
+                (unsigned long long)m.dummies, m.dummyRatio * 100,
+                (unsigned long long)m.llcHits);
+    if (!m.samples.empty()) {
+        std::printf("mutual information: %.6f bits\n",
+                    mutualInformationOf(m.samples));
+    }
+    return 0;
+}

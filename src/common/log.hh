@@ -1,0 +1,46 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic, fatal, warn, inform.
+ *
+ * panic()  - simulator bug; should never happen regardless of user input.
+ * fatal()  - the simulation cannot continue due to a user error
+ *            (bad configuration, invalid arguments).
+ * warn()   - functionality works but deserves user attention.
+ * inform() - status messages with no connotation of incorrect behavior.
+ */
+
+#ifndef PALERMO_COMMON_LOG_HH
+#define PALERMO_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace palermo {
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...);
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...);
+void warnImpl(const char *fmt, ...);
+void informImpl(const char *fmt, ...);
+
+/** Enable/disable inform() output (benches quiet it down). */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace palermo
+
+#define panic(...) ::palermo::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::palermo::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::palermo::warnImpl(__VA_ARGS__)
+#define inform(...) ::palermo::informImpl(__VA_ARGS__)
+
+/** gem5-style assertion that survives NDEBUG and reports context. */
+#define palermo_assert(cond, ...)                                            \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::palermo::panicImpl(__FILE__, __LINE__,                         \
+                                 "assertion '%s' failed: " #__VA_ARGS__,     \
+                                 #cond);                                     \
+        }                                                                    \
+    } while (0)
+
+#endif // PALERMO_COMMON_LOG_HH

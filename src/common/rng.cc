@@ -1,0 +1,154 @@
+#include "common/rng.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace palermo {
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+mix64(std::uint64_t value)
+{
+    std::uint64_t state = value;
+    return splitMix64(state);
+}
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(std::uint64_t seed_value)
+{
+    std::uint64_t sm = seed_value;
+    for (auto &lane : s_)
+        lane = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::range(std::uint64_t bound)
+{
+    palermo_assert(bound > 0);
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::uint64_t
+Rng::between(std::uint64_t lo, std::uint64_t hi)
+{
+    palermo_assert(lo <= hi);
+    return lo + range(hi - lo + 1);
+}
+
+double
+Rng::uniform()
+{
+    // 53-bit mantissa double in [0, 1).
+    return (next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double alpha, std::uint64_t seed)
+    : n_(n), alpha_(alpha), rng_(seed)
+{
+    palermo_assert(n > 0);
+    // Exact CDF for the head; the (smooth) tail beyond the table is
+    // handled analytically via the integral approximation of the
+    // truncated zeta mass, keeping construction cheap for huge spaces.
+    const std::uint64_t table = std::min<std::uint64_t>(n, 1 << 20);
+    cdf_.resize(table);
+    double acc = 0.0;
+    for (std::uint64_t i = 0; i < table; ++i) {
+        acc += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+        cdf_[i] = acc;
+    }
+    double tail = 0.0;
+    if (table < n) {
+        const double m = static_cast<double>(table);
+        const double top = static_cast<double>(n);
+        if (std::abs(alpha - 1.0) < 1e-9) {
+            tail = std::log(top / m);
+        } else {
+            tail = (std::pow(top, 1.0 - alpha) - std::pow(m, 1.0 - alpha))
+                / (1.0 - alpha);
+        }
+    }
+    const double total = acc + tail;
+    for (auto &c : cdf_)
+        c /= total;
+    headMass_ = acc / total;
+}
+
+std::uint64_t
+ZipfSampler::sample()
+{
+    const double u = rng_.uniform();
+    if (u < headMass_ || cdf_.size() >= n_) {
+        const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+        std::uint64_t rank = static_cast<std::uint64_t>(it - cdf_.begin());
+        if (rank >= cdf_.size())
+            rank = cdf_.size() - 1;
+        return rank;
+    }
+    // Tail: invert the integral CDF over [table, n).
+    const double v = (u - headMass_) / (1.0 - headMass_);
+    const double m = static_cast<double>(cdf_.size());
+    const double top = static_cast<double>(n_);
+    double rank;
+    if (std::abs(alpha_ - 1.0) < 1e-9) {
+        rank = m * std::exp(v * std::log(top / m));
+    } else {
+        const double lo = std::pow(m, 1.0 - alpha_);
+        const double hi = std::pow(top, 1.0 - alpha_);
+        rank = std::pow(lo + v * (hi - lo), 1.0 / (1.0 - alpha_));
+    }
+    auto out = static_cast<std::uint64_t>(rank);
+    return std::min(out, n_ - 1);
+}
+
+} // namespace palermo

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the Palermo simulator.
+ */
+
+#ifndef PALERMO_COMMON_TYPES_HH
+#define PALERMO_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace palermo {
+
+/** Simulation time in 1.6 GHz cycles (one DDR4-3200 bus clock). */
+using Tick = std::uint64_t;
+
+/** Byte address in the untrusted (outsourced) DRAM space. */
+using Addr = std::uint64_t;
+
+/** Logical block index in a protected memory space (64B granularity). */
+using BlockId = std::uint64_t;
+
+/** Leaf index of an ORAM tree (0 .. numLeaves-1). */
+using Leaf = std::uint64_t;
+
+/** Heap-order node index of an ORAM tree (root = 0). */
+using NodeId = std::uint64_t;
+
+/** Sentinel for "no tick scheduled". */
+constexpr Tick kTickNever = std::numeric_limits<Tick>::max();
+
+/** Sentinel for invalid block / leaf / node. */
+constexpr std::uint64_t kInvalid = std::numeric_limits<std::uint64_t>::max();
+
+/** Cache-line / ORAM block payload granularity in bytes. */
+constexpr unsigned kBlockBytes = 64;
+
+} // namespace palermo
+
+#endif // PALERMO_COMMON_TYPES_HH

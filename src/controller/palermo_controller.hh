@@ -1,0 +1,161 @@
+/**
+ * @file
+ * PalermoController: the 3xN PE-mesh ORAM controller (paper §V).
+ *
+ * Each column serves one ORAM request; each row serves one hierarchy
+ * level (Data, PosMap1, PosMap2). A PE's finite state machine walks
+ * CP -> LM -> ER -> RP -> (EP) -> Finalize with two dependency types:
+ *
+ *  - North/south (parent/child): a PE's CP resolves when the child
+ *    level's ReadPath returns the leaf (PosMap2 reads the on-chip
+ *    PosMap3 instead).
+ *  - West/east (sibling): a PE may mutate its tree (the critical
+ *    section: leaf consumption, remap, pre-check reshuffles) only after
+ *    the previous request's PE on the same tree has *issued* its ER
+ *    writes (EP writes for every A-th access). Issuing — not commit —
+ *    clears the dependency; the DRAM write queue's read forwarding keeps
+ *    the tree view consistent.
+ *
+ * All ReadPaths overlap freely, which is where the bandwidth comes from.
+ * Requests retire in CommitHead order. The software-only variant
+ * (Palermo-SW, paper Fig. 10) coarsens both dependencies; see
+ * palermo_sw_controller.hh.
+ */
+
+#ifndef PALERMO_CONTROLLER_PALERMO_CONTROLLER_HH
+#define PALERMO_CONTROLLER_PALERMO_CONTROLLER_HH
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "controller/controller.hh"
+#include "oram/palermo.hh"
+#include "oram/plan.hh"
+
+namespace palermo {
+
+/** Timing knobs of the PE mesh. */
+struct PalermoControllerConfig
+{
+    unsigned columns = 8;        ///< PE columns (Table III: 3x8).
+    unsigned issuePerPe = 4;     ///< DRAM enqueues per PE per cycle.
+    unsigned posmap3Latency = 4; ///< On-chip PosMap3 lookup cycles.
+    unsigned decryptLatency = 40; ///< RP data to response cycles.
+    bool swMode = false;         ///< Palermo-SW coarse synchronization.
+};
+
+/** The Palermo protocol-hardware co-designed controller. */
+class PalermoController : public Controller
+{
+  public:
+    PalermoController(std::unique_ptr<PalermoOram> protocol,
+                      const PalermoControllerConfig &config);
+
+    bool canAccept() const override;
+    void push(BlockId pa, bool write, std::uint64_t value,
+              bool dummy) override;
+    void tick(DramSystem &dram) override;
+    void onCompletion(std::uint64_t tag) override;
+    bool idle() const override;
+    const Stash &stashOf(unsigned level) const override;
+
+    PalermoOram &protocol() { return *protocol_; }
+    const PalermoControllerConfig &config() const { return config_; }
+
+    /** Peak concurrently-active columns observed (tests). */
+    unsigned maxActiveColumns() const { return maxActiveColumns_; }
+
+  private:
+    /** PE FSM states, in protocol order. */
+    enum class PeStage
+    {
+        Idle,
+        WaitLeaf,     ///< CP: waiting for child's RP response / PosMap3.
+        WaitSibling,  ///< Waiting for the west tree-write token.
+        IssueLm,
+        WaitLm,
+        IssueErRead,
+        WaitErRead,
+        IssueErWrite,
+        IssueRp,
+        WaitRp,
+        IssueEpRead,
+        WaitEpRead,
+        IssueEpWrite,
+        Finalized,
+    };
+
+    struct PeState
+    {
+        PeStage stage = PeStage::Idle;
+        LevelPlan plan;
+        std::size_t opIdx = 0;
+        std::uint64_t outstanding = 0;
+        Tick leafReadyAt = kTickNever; ///< PosMap3 latency model.
+        bool cleared = false;          ///< Sibling token passed east.
+    };
+
+    struct ColumnCtx
+    {
+        bool busy = false;
+        std::uint64_t gid = 0;
+        BlockId pa = 0;
+        std::array<BlockId, kHierLevels> ids{};
+        bool write = false;
+        std::uint64_t value = 0;
+        bool dummy = false;
+        Tick startTick = 0;
+        Tick responseTick = kTickNever;
+        std::uint64_t readValue = 0;
+        std::array<bool, kHierLevels> rpDone{};
+        std::array<bool, kHierLevels> finalized{};
+    };
+
+    /** Current phase the PE is issuing, or nullptr. */
+    Phase *issuingPhase(PeState &pe);
+
+    void stepPe(unsigned col, unsigned level, DramSystem &dram);
+    void issueOps(unsigned col, unsigned level, PeState &pe,
+                  DramSystem &dram);
+    void clearSibling(unsigned level, std::uint64_t gid);
+    void tryRetire(Tick now);
+
+    std::unique_ptr<PalermoOram> protocol_;
+    PalermoControllerConfig config_;
+
+    std::vector<std::array<PeState, kHierLevels>> pes_; ///< [col][level]
+    std::vector<ColumnCtx> cols_;
+
+    std::uint64_t nextGid_ = 0;
+    std::uint64_t commitHead_ = 0;
+    /** Highest gid whose tree-write phase has been issued, per level. */
+    std::array<std::uint64_t, kHierLevels> clearedThrough_;
+    /**
+     * Software mode: Algorithm 2's global CommitHead spin. A request
+     * enters its (whole-hierarchy) critical region only after the
+     * previous request has issued everything but its overlappable
+     * ReadPaths — software cannot split issue from completion per tree.
+     */
+    std::uint64_t swGlobalCleared_ = 0;
+
+    std::uint64_t nextTag_ = 1;
+    /** Read tag -> (col, level). */
+    std::unordered_map<std::uint64_t, std::uint32_t> tagMap_;
+
+    /**
+     * MSHR-style merge under prefetch: misses to a widened data block
+     * that already has an in-flight ORAM request coalesce into it (the
+     * fill returns all of the block's lines to the LLC), so no second
+     * request is issued. Maps data-tree block -> in-flight count.
+     */
+    std::unordered_map<BlockId, unsigned> inFlightBlocks_;
+
+    unsigned activeColumns_ = 0;
+    unsigned maxActiveColumns_ = 0;
+};
+
+} // namespace palermo
+
+#endif // PALERMO_CONTROLLER_PALERMO_CONTROLLER_HH

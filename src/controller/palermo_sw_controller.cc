@@ -1,0 +1,23 @@
+#include "controller/palermo_sw_controller.hh"
+
+namespace palermo {
+
+PalermoControllerConfig
+PalermoSwController::swConfig(unsigned columns)
+{
+    PalermoControllerConfig config;
+    config.columns = columns;
+    config.swMode = true;
+    // Software issue path: one request stream per thread through the
+    // memory subsystem; the coarse locks dominate, not issue width.
+    config.issuePerPe = 4;
+    return config;
+}
+
+PalermoSwController::PalermoSwController(
+    std::unique_ptr<PalermoOram> protocol, unsigned columns)
+    : PalermoController(std::move(protocol), swConfig(columns))
+{
+}
+
+} // namespace palermo

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Palermo-SW: the software-only Palermo protocol (paper Fig. 10).
+ *
+ * Runs Algorithm 2 with coarse-grained software synchronization instead
+ * of the PE mesh: hierarchy levels execute sequentially within a request
+ * (the mutex around the PosMap check kills intra-request parallelism),
+ * and each tree's lock is held from the PosMap check through ReadPath
+ * issue, so only the ReadPaths of consecutive requests overlap. This is
+ * the "protocol-level-only" 1.2x configuration that isolates how much of
+ * Palermo's gain needs the co-designed hardware.
+ */
+
+#ifndef PALERMO_CONTROLLER_PALERMO_SW_CONTROLLER_HH
+#define PALERMO_CONTROLLER_PALERMO_SW_CONTROLLER_HH
+
+#include <memory>
+
+#include "controller/palermo_controller.hh"
+
+namespace palermo {
+
+/** Software-synchronized Palermo (coarse locks, sequential levels). */
+class PalermoSwController : public PalermoController
+{
+  public:
+    /**
+     * @param protocol Shared Palermo protocol state (owned).
+     * @param columns Logical in-flight request slots (software threads).
+     */
+    PalermoSwController(std::unique_ptr<PalermoOram> protocol,
+                        unsigned columns = 8);
+
+  private:
+    static PalermoControllerConfig swConfig(unsigned columns);
+};
+
+} // namespace palermo
+
+#endif // PALERMO_CONTROLLER_PALERMO_SW_CONTROLLER_HH

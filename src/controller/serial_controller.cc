@@ -1,0 +1,195 @@
+#include "controller/serial_controller.hh"
+
+#include "common/log.hh"
+
+namespace palermo {
+
+SerialController::SerialController(std::unique_ptr<Protocol> protocol,
+                                   unsigned issue_width,
+                                   std::size_t queue_limit,
+                                   unsigned decrypt_latency)
+    : protocol_(std::move(protocol)), issueWidth_(issue_width),
+      queueLimit_(queue_limit), decryptLatency_(decrypt_latency)
+{
+    palermo_assert(protocol_ != nullptr);
+    palermo_assert(issue_width > 0 && queue_limit > 0);
+}
+
+bool
+SerialController::canAccept() const
+{
+    return queue_.size() < queueLimit_;
+}
+
+void
+SerialController::push(BlockId pa, bool write, std::uint64_t value,
+                       bool dummy)
+{
+    palermo_assert(canAccept());
+    // Functional conversion happens at admission; the serial execution
+    // order equals admission order, so plan-time state is consistent.
+    for (RequestPlan &plan : protocol_->access(pa, write, value)) {
+        Pending pending;
+        pending.plan = std::move(plan);
+        pending.dummy = dummy || pending.plan.dummy;
+        queue_.push_back(std::move(pending));
+    }
+}
+
+unsigned
+SerialController::currentLevel(const Pending &req) const
+{
+    if (req.levelIdx < req.plan.levels.size())
+        return req.plan.levels[req.levelIdx].level;
+    return kLevelData;
+}
+
+bool
+SerialController::phaseIssued(const Pending &req) const
+{
+    const LevelPlan &level = req.plan.levels[req.levelIdx];
+    return req.opIdx >= level.phases[req.phaseIdx].ops.size();
+}
+
+void
+SerialController::retire(Pending &req, Tick now)
+{
+    if (req.plan.llcHit) {
+        ++stats_.llcHits;
+        ++stats_.served;
+        return;
+    }
+    const Tick response =
+        req.responseTick == kTickNever ? now : req.responseTick;
+    const double latency = static_cast<double>(response - req.startTick)
+        + decryptLatency_;
+    if (req.dummy) {
+        ++stats_.dummies;
+    } else {
+        ++stats_.served;
+        stats_.latency.sample(latency);
+        bool from_stash = false;
+        for (const LevelPlan &level : req.plan.levels) {
+            if (level.level == kLevelData)
+                from_stash = level.servedFromStash;
+        }
+        stats_.samples.push_back({latency, from_stash});
+    }
+}
+
+void
+SerialController::advance(Pending &req, Tick now)
+{
+    while (req.levelIdx < req.plan.levels.size()) {
+        const LevelPlan &level = req.plan.levels[req.levelIdx];
+        if (req.phaseIdx >= level.phases.size()) {
+            ++req.levelIdx;
+            req.phaseIdx = 0;
+            req.opIdx = 0;
+            continue;
+        }
+        const Phase &phase = level.phases[req.phaseIdx];
+        const bool issued = req.opIdx >= phase.ops.size();
+        if (issued && req.outstandingReads == 0) {
+            // Response point: the Data-level ReadPath completed.
+            if (level.level == kLevelData
+                && phase.kind == PhaseKind::ReadPath
+                && req.responseTick == kTickNever) {
+                req.responseTick = now;
+            }
+            ++req.phaseIdx;
+            req.opIdx = 0;
+            continue;
+        }
+        break;
+    }
+}
+
+void
+SerialController::tick(DramSystem &dram)
+{
+    ++stats_.totalCycles;
+    if (queue_.empty()) {
+        ++stats_.idleCycles;
+        return;
+    }
+
+    Pending &req = queue_.front();
+    const Tick now = dram.now();
+    if (!req.started) {
+        req.started = true;
+        req.startTick = now;
+    }
+
+    if (req.plan.llcHit || req.plan.levels.empty()) {
+        retire(req, now);
+        queue_.pop_front();
+        return;
+    }
+
+    // Cycle attribution: charge the level currently being served; a
+    // cycle is "dram" if any channel moved data, else "ORAM-sync".
+    const unsigned level = currentLevel(req);
+    if (dram.dataBusActive())
+        ++stats_.dramCycles[level];
+    else
+        ++stats_.syncCycles[level];
+
+    advance(req, now);
+    if (req.levelIdx >= req.plan.levels.size()) {
+        retire(req, now);
+        queue_.pop_front();
+        return;
+    }
+
+    // Issue this phase's operations, up to the issue width, respecting
+    // DRAM queue backpressure.
+    LevelPlan &lp = req.plan.levels[req.levelIdx];
+    Phase &phase = lp.phases[req.phaseIdx];
+    unsigned issued_now = 0;
+    while (issued_now < issueWidth_ && req.opIdx < phase.ops.size()) {
+        const MemOp &op = phase.ops[req.opIdx];
+        if (!dram.enqueue(op.addr, op.write, /*tag=*/0))
+            break;
+        if (op.write) {
+            ++stats_.issuedWrites;
+        } else {
+            ++stats_.issuedReads;
+            ++req.outstandingReads;
+        }
+        ++req.opIdx;
+        ++issued_now;
+    }
+    advance(req, now);
+    if (req.levelIdx >= req.plan.levels.size()) {
+        retire(req, now);
+        queue_.pop_front();
+    }
+}
+
+void
+SerialController::onCompletion(std::uint64_t tag)
+{
+    (void)tag;
+    // Only one request executes at a time, so every read completion
+    // belongs to its current phase.
+    palermo_assert(!queue_.empty(), "completion with empty queue");
+    Pending &req = queue_.front();
+    palermo_assert(req.outstandingReads > 0,
+                   "completion without outstanding read");
+    --req.outstandingReads;
+}
+
+bool
+SerialController::idle() const
+{
+    return queue_.empty();
+}
+
+const Stash &
+SerialController::stashOf(unsigned level) const
+{
+    return protocol_->stashOf(level);
+}
+
+} // namespace palermo

@@ -1,0 +1,27 @@
+#include "controller/treetop_cache.hh"
+
+#include "oram/hierarchy.hh"
+
+namespace palermo {
+
+TreetopCache::TreetopCache(const OramParams &params,
+                           std::uint64_t budget_bytes)
+    : params_(params), budgetBytes_(budget_bytes),
+      cachedLevels_(cachedLevelsFor(params, budget_bytes)), usedBytes_(0)
+{
+    for (unsigned level = 0; level < cachedLevels_; ++level) {
+        const std::uint64_t nodes = std::uint64_t{1} << level;
+        usedBytes_ += nodes
+            * (static_cast<std::uint64_t>(params.slotsAt(level))
+                   * params.blockBytes
+               + kBlockBytes);
+    }
+}
+
+double
+TreetopCache::pathCoverage() const
+{
+    return static_cast<double>(cachedLevels_) / params_.levels;
+}
+
+} // namespace palermo

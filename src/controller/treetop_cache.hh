@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Tree-top cache (Phantom [30]): an on-chip scratchpad pinning the top
+ * levels of an ORAM tree, where access intensity is highest (every path
+ * crosses the root). Engines consult the computed level count to
+ * suppress DRAM traffic; this class provides the sizing/accounting view
+ * used by the system configuration and the area/power model.
+ */
+
+#ifndef PALERMO_CONTROLLER_TREETOP_CACHE_HH
+#define PALERMO_CONTROLLER_TREETOP_CACHE_HH
+
+#include <cstdint>
+
+#include "oram/oram_params.hh"
+
+namespace palermo {
+
+/** Sizing view of one tree's tree-top cache. */
+class TreetopCache
+{
+  public:
+    /**
+     * @param params Tree the cache fronts.
+     * @param budget_bytes On-chip byte budget for this tree.
+     */
+    TreetopCache(const OramParams &params, std::uint64_t budget_bytes);
+
+    /** Levels [0, cachedLevels()) are fully resident on-chip. */
+    unsigned cachedLevels() const { return cachedLevels_; }
+
+    /** Bytes actually consumed by the resident levels. */
+    std::uint64_t usedBytes() const { return usedBytes_; }
+
+    std::uint64_t budgetBytes() const { return budgetBytes_; }
+
+    /** Fraction of a path's buckets that are served on-chip. */
+    double pathCoverage() const;
+
+  private:
+    OramParams params_;
+    std::uint64_t budgetBytes_;
+    unsigned cachedLevels_;
+    std::uint64_t usedBytes_;
+};
+
+} // namespace palermo
+
+#endif // PALERMO_CONTROLLER_TREETOP_CACHE_HH

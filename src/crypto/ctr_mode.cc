@@ -1,0 +1,41 @@
+#include "crypto/ctr_mode.hh"
+
+namespace palermo {
+
+CtrEncryptor::CtrEncryptor(const Speck128::Key &key) : cipher_(key)
+{
+}
+
+Payload64
+CtrEncryptor::keystream(Addr addr, std::uint64_t version) const
+{
+    Payload64 ks;
+    for (unsigned i = 0; i < 4; ++i) {
+        // Nonce: (addr, version || counter i), unique per 16B segment.
+        const Speck128::Block block =
+            cipher_.encrypt({addr, (version << 2) | i});
+        ks[2 * i] = block[0];
+        ks[2 * i + 1] = block[1];
+    }
+    return ks;
+}
+
+Payload64
+CtrEncryptor::encrypt(const Payload64 &plain, Addr addr,
+                      std::uint64_t version) const
+{
+    const Payload64 ks = keystream(addr, version);
+    Payload64 out;
+    for (unsigned i = 0; i < 8; ++i)
+        out[i] = plain[i] ^ ks[i];
+    return out;
+}
+
+Payload64
+CtrEncryptor::decrypt(const Payload64 &cipher, Addr addr,
+                      std::uint64_t version) const
+{
+    return encrypt(cipher, addr, version);
+}
+
+} // namespace palermo

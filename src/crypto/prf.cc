@@ -1,0 +1,27 @@
+#include "crypto/prf.hh"
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace palermo {
+
+Prf::Prf(std::uint64_t key) : cipher_({key, mix64(key)})
+{
+}
+
+std::uint64_t
+Prf::eval(std::uint64_t input) const
+{
+    return cipher_.encrypt({input, 0x5045524d4f505246ull})[0];
+}
+
+std::uint64_t
+Prf::evalMod(std::uint64_t input, std::uint64_t bound) const
+{
+    palermo_assert(bound > 0);
+    // 64-bit PRF output modulo bound: bias is negligible for the leaf
+    // counts used here (bound << 2^64).
+    return eval(input) % bound;
+}
+
+} // namespace palermo

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Keyed pseudo-random function used for default (never-touched) position
+ * map entries and block permutations.
+ *
+ * A lazily materialized PosMap needs a deterministic initial leaf for
+ * every block; deriving it from PRF(key, block) is equivalent to the
+ * "initialized independently and uniformly at random" assumption in the
+ * PathORAM/RingORAM proofs while keeping memory O(touched blocks).
+ */
+
+#ifndef PALERMO_CRYPTO_PRF_HH
+#define PALERMO_CRYPTO_PRF_HH
+
+#include <cstdint>
+
+#include "crypto/speck.hh"
+
+namespace palermo {
+
+/** Keyed PRF: 64-bit input -> 64-bit output via one Speck encryption. */
+class Prf
+{
+  public:
+    explicit Prf(std::uint64_t key);
+
+    /** Evaluate PRF(input). */
+    std::uint64_t eval(std::uint64_t input) const;
+
+    /** Evaluate PRF(input) reduced uniformly into [0, bound). */
+    std::uint64_t evalMod(std::uint64_t input, std::uint64_t bound) const;
+
+  private:
+    Speck128 cipher_;
+};
+
+} // namespace palermo
+
+#endif // PALERMO_CRYPTO_PRF_HH

@@ -1,0 +1,98 @@
+#include "mem/address_map.hh"
+
+#include "common/log.hh"
+
+namespace palermo {
+
+namespace {
+
+// Pull the low `bits(count)` out of value, shifting value right.
+inline std::uint64_t
+takeBits(std::uint64_t &value, unsigned count_values)
+{
+    // count_values is a field cardinality, not a bit count; fields are
+    // always powers of two here.
+    const std::uint64_t field = value % count_values;
+    value /= count_values;
+    return field;
+}
+
+} // namespace
+
+std::uint64_t
+DramOrg::capacityBytes() const
+{
+    return static_cast<std::uint64_t>(channels) * ranks * bankGroups
+        * banksPerGroup * rows * columnsPerRow * kBlockBytes;
+}
+
+AddressMap::AddressMap(const DramOrg &org, MapPolicy policy)
+    : org_(org), policy_(policy)
+{
+    palermo_assert(org.channels > 0 && org.ranks > 0);
+    palermo_assert(org.bankGroups > 0 && org.banksPerGroup > 0);
+    palermo_assert(org.rows > 0 && org.columnsPerRow > 0);
+}
+
+DecodedAddr
+AddressMap::decode(Addr addr) const
+{
+    std::uint64_t line = addr / kBlockBytes;
+    DecodedAddr dec{};
+    switch (policy_) {
+      case MapPolicy::RoBaRaCoCh:
+        // Bank-group bits sit below the column bits so that consecutive
+        // lines within a channel alternate bank groups: back-to-back
+        // CAS commands then pace at tCCD_S (= tBL) instead of tCCD_L,
+        // which is what lets streams saturate the data bus on DDR4.
+        dec.channel = static_cast<unsigned>(takeBits(line, org_.channels));
+        dec.bankGroup = static_cast<unsigned>(
+            takeBits(line, org_.bankGroups));
+        dec.column = static_cast<unsigned>(
+            takeBits(line, org_.columnsPerRow));
+        dec.rank = static_cast<unsigned>(takeBits(line, org_.ranks));
+        dec.bank = static_cast<unsigned>(
+            takeBits(line, org_.banksPerGroup));
+        dec.row = line % org_.rows;
+        break;
+      case MapPolicy::RoCoBaRaCh:
+        dec.channel = static_cast<unsigned>(takeBits(line, org_.channels));
+        dec.rank = static_cast<unsigned>(takeBits(line, org_.ranks));
+        dec.bank = static_cast<unsigned>(
+            takeBits(line, org_.banksPerGroup));
+        dec.bankGroup = static_cast<unsigned>(
+            takeBits(line, org_.bankGroups));
+        dec.column = static_cast<unsigned>(
+            takeBits(line, org_.columnsPerRow));
+        dec.row = line % org_.rows;
+        break;
+    }
+    return dec;
+}
+
+Addr
+AddressMap::encode(const DecodedAddr &dec) const
+{
+    std::uint64_t line = 0;
+    switch (policy_) {
+      case MapPolicy::RoBaRaCoCh:
+        line = dec.row;
+        line = line * org_.banksPerGroup + dec.bank;
+        line = line * org_.ranks + dec.rank;
+        line = line * org_.columnsPerRow + dec.column;
+        line = line * org_.bankGroups + dec.bankGroup;
+        line = line * org_.channels + dec.channel;
+        break;
+      case MapPolicy::RoCoBaRaCh:
+        line = dec.row;
+        line = line * org_.columnsPerRow + dec.column;
+        line = line * org_.bankGroups + dec.bankGroup;
+        line = line * org_.banksPerGroup + dec.bank;
+        line = line * org_.ranks + dec.rank;
+        line = line * org_.channels + dec.channel;
+        break;
+    }
+    return line * kBlockBytes;
+}
+
+} // namespace palermo

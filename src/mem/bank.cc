@@ -1,0 +1,49 @@
+#include "mem/bank.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace palermo {
+
+void
+Bank::activate(Tick now, std::uint64_t row, const DramTiming &t)
+{
+    palermo_assert(canActivate(now), "ACT issued while illegal");
+    openRow_ = row;
+    nextRd_ = std::max(nextRd_, now + t.tRCD);
+    nextWr_ = std::max(nextWr_, now + t.tRCD);
+    nextPre_ = std::max(nextPre_, now + t.tRAS);
+    nextAct_ = std::max(nextAct_, now + t.tRC);
+}
+
+void
+Bank::precharge(Tick now, const DramTiming &t)
+{
+    palermo_assert(canPrecharge(now), "PRE issued while illegal");
+    openRow_ = kInvalid;
+    nextAct_ = std::max(nextAct_, now + t.tRP);
+}
+
+void
+Bank::column(Tick now, bool write, const DramTiming &t)
+{
+    palermo_assert(canColumn(now, write), "CAS issued while illegal");
+    if (write) {
+        // Write data occupies the bus [now+tCWL, now+tCWL+tBL); the row
+        // may not close until tWR after the data burst completes.
+        nextPre_ = std::max(nextPre_,
+                            now + t.tCWL + t.tBL + t.tWR);
+    } else {
+        nextPre_ = std::max(nextPre_, now + t.tRTP);
+    }
+}
+
+void
+Bank::refresh(Tick now, const DramTiming &t)
+{
+    openRow_ = kInvalid;
+    nextAct_ = std::max(nextAct_, now + t.tRFC);
+}
+
+} // namespace palermo

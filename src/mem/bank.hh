@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Per-bank DRAM state machine: open row tracking plus the earliest tick at
+ * which each command class (ACT/PRE/RD/WR) becomes legal for this bank.
+ */
+
+#ifndef PALERMO_MEM_BANK_HH
+#define PALERMO_MEM_BANK_HH
+
+#include "common/types.hh"
+#include "mem/dram_timing.hh"
+
+namespace palermo {
+
+/** One DRAM bank's row-buffer state and timing gates. */
+class Bank
+{
+  public:
+    /** True if any row is open in this bank's row buffer. */
+    bool isOpen() const { return openRow_ != kInvalid; }
+
+    /** Currently open row, or kInvalid. */
+    std::uint64_t openRow() const { return openRow_; }
+
+    bool canActivate(Tick now) const { return !isOpen() && now >= nextAct_; }
+    bool canPrecharge(Tick now) const { return isOpen() && now >= nextPre_; }
+    bool canColumn(Tick now, bool write) const
+    {
+        return isOpen() && now >= (write ? nextWr_ : nextRd_);
+    }
+
+    /** Earliest tick a column command could issue (given the row stays). */
+    Tick nextColumnAt(bool write) const { return write ? nextWr_ : nextRd_; }
+    Tick nextActAt() const { return nextAct_; }
+    Tick nextPreAt() const { return nextPre_; }
+
+    /** Apply an ACT command at the given tick. */
+    void activate(Tick now, std::uint64_t row, const DramTiming &t);
+
+    /** Apply a PRE command at the given tick. */
+    void precharge(Tick now, const DramTiming &t);
+
+    /** Apply a RD/WR column command at the given tick. */
+    void column(Tick now, bool write, const DramTiming &t);
+
+    /** Refresh: close the row and block activates until now + tRFC. */
+    void refresh(Tick now, const DramTiming &t);
+
+  private:
+    std::uint64_t openRow_ = kInvalid;
+    Tick nextAct_ = 0;
+    Tick nextPre_ = 0;
+    Tick nextRd_ = 0;
+    Tick nextWr_ = 0;
+};
+
+} // namespace palermo
+
+#endif // PALERMO_MEM_BANK_HH

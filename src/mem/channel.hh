@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Per-channel DRAM controller: FR-FCFS scheduling over split read/write
+ * queues, write-drain hysteresis, write-to-read forwarding, bank timing,
+ * tRRD/tFAW activate windows, CAS-to-CAS gating, and all-bank refresh.
+ */
+
+#ifndef PALERMO_MEM_CHANNEL_HH
+#define PALERMO_MEM_CHANNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/address_map.hh"
+#include "mem/bank.hh"
+#include "mem/dram_timing.hh"
+
+namespace palermo {
+
+/** A finished read returned to the requester. */
+struct Completion
+{
+    std::uint64_t tag;   ///< Caller-provided identifier.
+    Tick finishTick;     ///< Tick at which read data became available.
+    bool forwarded;      ///< Served from the write queue, not the array.
+};
+
+/** Aggregated per-channel statistics. */
+struct ChannelStats
+{
+    Counter reads;
+    Counter writes;
+    Counter rowHits;
+    Counter rowMisses;
+    Counter rowConflicts;
+    Counter forwardedReads;
+    Counter coalescedWrites;
+    Counter refreshes;
+    Counter busBusyTicks;
+    Counter totalTicks;
+    TimeWeighted queueOccupancy;
+    Average readLatency;
+
+    void reset();
+};
+
+/** One DDR4 channel with its own command/data bus and bank set. */
+class Channel
+{
+  public:
+    Channel(const DramOrg &org, const DramTiming &timing,
+            unsigned queue_depth);
+
+    /** True if the relevant queue can accept another request. */
+    bool canEnqueue(bool is_write) const;
+
+    /**
+     * Enqueue a request whose address decodes to this channel.
+     * Reads that hit the write queue complete via forwarding.
+     * @return false if the queue is full (caller must retry).
+     */
+    bool enqueue(const DecodedAddr &dec, bool is_write, std::uint64_t tag,
+                 Tick now);
+
+    /** Advance one cycle: issue at most one command, retire data. */
+    void tick(Tick now);
+
+    /** Drain completions produced so far (appended in finish order). */
+    std::vector<Completion> &completions() { return completions_; }
+
+    /** True if the data bus carried a beat during the last tick. */
+    bool dataBusActive() const { return busActiveNow_; }
+
+    /** Outstanding requests in both queues. */
+    std::size_t occupancy() const
+    {
+        return readQueue_.size() + writeQueue_.size();
+    }
+
+    ChannelStats &stats() { return stats_; }
+    const ChannelStats &stats() const { return stats_; }
+
+  private:
+    struct Entry
+    {
+        DecodedAddr dec;
+        std::uint64_t tag;
+        Tick enqueueTick;
+        bool hadActivate = false;
+        bool hadConflict = false;
+    };
+
+    struct BusEvent
+    {
+        Tick tick;
+        int delta;
+        bool operator>(const BusEvent &o) const { return tick > o.tick; }
+    };
+
+    // Scheduling helpers; each issues at most one command and returns
+    // true if a command went out this cycle.
+    bool trySchedule(Tick now, std::deque<Entry> &queue, bool is_write);
+    bool tryColumn(Tick now, std::deque<Entry> &queue, bool is_write);
+    bool tryActivate(Tick now, std::deque<Entry> &queue);
+    bool tryPrecharge(Tick now, std::deque<Entry> &queue, bool is_write);
+    void handleRefresh(Tick now);
+
+    bool casTimingOk(Tick now, const Entry &e, bool is_write) const;
+    bool actTimingOk(Tick now, const Entry &e) const;
+    bool rowWanted(std::uint64_t flat_bank, std::uint64_t row) const;
+    void recordCas(Tick now, Entry &e, bool is_write);
+    void scheduleBusBeat(Tick start, Tick end);
+
+    const DramOrg org_;
+    const DramTiming timing_;
+    const unsigned queueDepth_;
+
+    std::vector<Bank> banks_;
+    std::deque<Entry> readQueue_;
+    std::deque<Entry> writeQueue_;
+    std::vector<Completion> completions_;
+
+    // Channel-level gating state.
+    Tick busFreeAt_ = 0;            ///< Data bus reserved through here.
+    Tick lastCas_ = 0;              ///< Last CAS issue tick.
+    unsigned lastCasBankGroup_ = 0;
+    bool lastCasValid_ = false;
+    Tick lastWriteDataEnd_ = 0;     ///< For tWTR write->read gating.
+    unsigned lastWriteBankGroup_ = 0;
+    bool lastWriteValid_ = false;
+    Tick lastAct_ = 0;
+    unsigned lastActBankGroup_ = 0;
+    bool lastActValid_ = false;
+    std::deque<Tick> actWindow_;    ///< Last four ACT ticks (tFAW).
+
+    // Refresh state.
+    Tick nextRefresh_;
+    bool refreshPending_ = false;
+
+    // Write drain hysteresis.
+    bool writeMode_ = false;
+    unsigned drainHigh_;
+    unsigned drainLow_;
+
+    // Instantaneous data-bus activity tracking.
+    std::priority_queue<BusEvent, std::vector<BusEvent>,
+                        std::greater<BusEvent>> busEvents_;
+    int activeTransfers_ = 0;
+    bool busActiveNow_ = false;
+
+    ChannelStats stats_;
+};
+
+} // namespace palermo
+
+#endif // PALERMO_MEM_CHANNEL_HH

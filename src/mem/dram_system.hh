@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Multi-channel DRAM system facade: routes requests to channels via the
+ * address map, advances all channels per tick, aggregates statistics, and
+ * hands read completions back to the ORAM controller.
+ */
+
+#ifndef PALERMO_MEM_DRAM_SYSTEM_HH
+#define PALERMO_MEM_DRAM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/address_map.hh"
+#include "mem/channel.hh"
+#include "mem/dram_timing.hh"
+
+namespace palermo {
+
+/** Construction parameters for the outsourced DRAM (Table III). */
+struct DramConfig
+{
+    DramOrg org;
+    DramTiming timing = ddr4_3200();
+    MapPolicy policy = MapPolicy::RoBaRaCoCh;
+    unsigned queueDepth = 64;
+};
+
+/** Aggregated system-level DRAM statistics snapshot. */
+struct DramSnapshot
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    std::uint64_t rowConflicts = 0;
+    std::uint64_t forwardedReads = 0;
+    std::uint64_t busBusyTicks = 0;
+    std::uint64_t totalTicks = 0;
+    double avgQueueOccupancy = 0.0;
+    double avgReadLatency = 0.0;
+
+    /** Fraction of classified column accesses that were row hits. */
+    double rowHitRate() const;
+    /** Fraction that were row-buffer conflicts. */
+    double rowConflictRate() const;
+    /** Data-bus utilization in [0, 1], averaged over channels. */
+    double busUtilization() const;
+};
+
+/** The untrusted outsourced memory: N channels of DDR4. */
+class DramSystem
+{
+  public:
+    explicit DramSystem(const DramConfig &config);
+
+    /** True if the owning channel's queue can accept this request. */
+    bool canEnqueue(Addr addr, bool is_write) const;
+
+    /**
+     * Enqueue one 64B request. Tags identify completions for reads.
+     * @return false when the channel queue is full.
+     */
+    bool enqueue(Addr addr, bool is_write, std::uint64_t tag);
+
+    /** Advance one cycle across all channels. */
+    void tick();
+
+    /** Current tick. */
+    Tick now() const { return now_; }
+
+    /**
+     * Collect read completions that became visible by the current tick,
+     * in finish order. The internal buffers are drained.
+     */
+    std::vector<Completion> drainCompletions();
+
+    /** True if any channel moved data during the last tick. */
+    bool dataBusActive() const;
+
+    /** Current total queued requests across channels. */
+    std::size_t occupancy() const;
+
+    /** Zero all statistics (warmup boundary); state is preserved. */
+    void resetStats();
+
+    /** Aggregate statistics across channels. */
+    DramSnapshot snapshot() const;
+
+    /** Peak bandwidth in bytes per tick across all channels. */
+    double peakBytesPerTick() const;
+
+    /** Peak bandwidth in GB/s. */
+    double peakBandwidthGBps() const;
+
+    const DramConfig &config() const { return config_; }
+    const AddressMap &addressMap() const { return map_; }
+
+  private:
+    DramConfig config_;
+    AddressMap map_;
+    std::vector<std::unique_ptr<Channel>> channels_;
+    Tick now_ = 0;
+    std::vector<Completion> ready_;
+    std::vector<Completion> pending_;
+};
+
+} // namespace palermo
+
+#endif // PALERMO_MEM_DRAM_SYSTEM_HH

@@ -1,0 +1,61 @@
+#include "mem/dram_timing.hh"
+
+namespace palermo {
+
+const DramTiming &
+ddr4_3200()
+{
+    static const DramTiming timing = {
+        .name = "DDR4-3200AA",
+        .tCL = 22,
+        .tCWL = 16,
+        .tRCD = 22,
+        .tRP = 22,
+        .tRAS = 52,
+        .tRC = 74,
+        .tBL = 4,
+        .tCCD_S = 4,
+        .tCCD_L = 8,
+        .tRTP = 12,
+        .tWR = 24,
+        .tWTR_S = 4,
+        .tWTR_L = 12,
+        .tRRD_S = 8,
+        .tRRD_L = 11,
+        .tFAW = 34,
+        .tREFI = 12480,
+        .tRFC = 560,
+        .clockGHz = 1.6,
+    };
+    return timing;
+}
+
+const DramTiming &
+ddr4_2400()
+{
+    static const DramTiming timing = {
+        .name = "DDR4-2400",
+        .tCL = 17,
+        .tCWL = 12,
+        .tRCD = 17,
+        .tRP = 17,
+        .tRAS = 39,
+        .tRC = 56,
+        .tBL = 4,
+        .tCCD_S = 4,
+        .tCCD_L = 6,
+        .tRTP = 9,
+        .tWR = 18,
+        .tWTR_S = 3,
+        .tWTR_L = 9,
+        .tRRD_S = 6,
+        .tRRD_L = 8,
+        .tFAW = 26,
+        .tREFI = 9360,
+        .tRFC = 420,
+        .clockGHz = 1.2,
+    };
+    return timing;
+}
+
+} // namespace palermo

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * DDR4 timing parameter sets, expressed in memory-bus clock cycles.
+ *
+ * The whole simulator runs in one clock domain at 1.6 GHz (tCK = 0.625ns):
+ * the Palermo controller frequency from the paper's RTL results, which is
+ * also the DDR4-3200 bus clock. All parameters below are therefore both
+ * DRAM cycles and controller cycles.
+ */
+
+#ifndef PALERMO_MEM_DRAM_TIMING_HH
+#define PALERMO_MEM_DRAM_TIMING_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace palermo {
+
+/** DDR4 device timing constraints (cycle counts at the bus clock). */
+struct DramTiming
+{
+    std::string name;
+
+    unsigned tCL;     ///< CAS (read) latency
+    unsigned tCWL;    ///< CAS write latency
+    unsigned tRCD;    ///< ACT to CAS delay
+    unsigned tRP;     ///< PRE to ACT delay
+    unsigned tRAS;    ///< ACT to PRE delay
+    unsigned tRC;     ///< ACT to ACT (same bank)
+    unsigned tBL;     ///< Burst length in clock cycles (BL8 = 4)
+    unsigned tCCD_S;  ///< CAS to CAS, different bank group
+    unsigned tCCD_L;  ///< CAS to CAS, same bank group
+    unsigned tRTP;    ///< Read to PRE
+    unsigned tWR;     ///< Write recovery (write data end to PRE)
+    unsigned tWTR_S;  ///< Write data end to read CAS, diff bank group
+    unsigned tWTR_L;  ///< Write data end to read CAS, same bank group
+    unsigned tRRD_S;  ///< ACT to ACT, different bank group
+    unsigned tRRD_L;  ///< ACT to ACT, same bank group
+    unsigned tFAW;    ///< Four-activate window
+    unsigned tREFI;   ///< Refresh interval
+    unsigned tRFC;    ///< Refresh cycle time
+
+    /** Clock frequency in GHz (for converting cycles to wall time). */
+    double clockGHz;
+
+    /** Peak data-bus bandwidth per channel in bytes per cycle. */
+    double bytesPerCycle() const
+    {
+        return static_cast<double>(kBlockBytes) / tBL;
+    }
+};
+
+/** DDR4-3200AA, the paper's Table III configuration. */
+const DramTiming &ddr4_3200();
+
+/** DDR4-2400 for sensitivity experiments. */
+const DramTiming &ddr4_2400();
+
+} // namespace palermo
+
+#endif // PALERMO_MEM_DRAM_TIMING_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Hierarchical ORAM plumbing shared by every protocol: configuration,
+ * per-level space derivation, tree-top cache sizing, the LLC prefetch
+ * residency filter, and the Protocol interface the serial timing
+ * controller drives.
+ *
+ * All designs use three levels (paper §II-D): the Data tree, the PosMap1
+ * tree holding Data leaf assignments (fan-out entries per block), and the
+ * PosMap2 tree holding PosMap1 assignments; PosMap3 fits on-chip.
+ */
+
+#ifndef PALERMO_ORAM_HIERARCHY_HH
+#define PALERMO_ORAM_HIERARCHY_HH
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "oram/oram_params.hh"
+#include "oram/plan.hh"
+#include "oram/posmap.hh"
+#include "oram/stash.hh"
+
+namespace palermo {
+
+/** Number of hierarchy levels (Data, PosMap1, PosMap2). */
+constexpr unsigned kHierLevels = 3;
+
+/** Hierarchy level indices. */
+constexpr unsigned kLevelData = 0;
+constexpr unsigned kLevelPos1 = 1;
+constexpr unsigned kLevelPos2 = 2;
+
+/** Configuration shared by all protocol implementations. */
+struct ProtocolConfig
+{
+    std::uint64_t numBlocks = 1ull << 18; ///< Protected 64B lines.
+    unsigned posFanout = 16;      ///< PosMap entries per 64B block.
+
+    // RingORAM / Palermo parameters (paper's chosen (16, 27, 20)).
+    unsigned ringZ = 16;
+    unsigned ringS = 27;
+    unsigned ringA = 20;
+
+    // PathORAM-family bucket size.
+    unsigned pathZ = 4;
+    unsigned pageZ = 2;           ///< PageORAM's reduced bucket size.
+
+    unsigned prefetchLen = 1;     ///< Block-widening (Palermo) or
+                                  ///< same-leaf group size (PrORAM).
+    bool fatTree = false;         ///< LAORAM fat-tree capacities.
+    bool throttle = true;         ///< PrORAM dynamic prefetch throttle.
+
+    std::size_t stashCapacity = 256;
+    std::size_t prStashCapacity = 1024; ///< PrORAM stash (paper Fig. 4).
+
+    /** Tree-top cache byte budget per hierarchy level. */
+    std::array<std::uint64_t, kHierLevels> treetopBytes =
+        {32 * 1024, 16 * 1024, 8 * 1024};
+
+    std::size_t llcResidentLines = 1ull << 15; ///< Prefetch filter reach.
+    std::size_t irTableEntries = 4096; ///< IR-ORAM bypass table.
+
+    std::uint64_t seed = 1;
+    Addr dramBase = 0;
+
+    /**
+     * Bulk-load every tree at construction (the protected data already
+     * exists, as in the paper's testbed). Skipped automatically above
+     * kPrefillLimit blocks, where the lazy empty-start geometry is the
+     * point (e.g. the 16 GB Table III audit).
+     */
+    bool prefill = true;
+
+    /** Per-level protected block counts: data, pos1, pos2. */
+    std::array<std::uint64_t, kHierLevels> levelBlocks() const;
+
+    /** Decompose a data block id into per-level block ids. */
+    std::array<BlockId, kHierLevels> decompose(BlockId pa) const;
+};
+
+/**
+ * Number of top tree levels a byte budget can pin on-chip (bucket data
+ * plus metadata), Phantom tree-top cache style.
+ */
+unsigned cachedLevelsFor(const OramParams &params, std::uint64_t bytes);
+
+/** Largest space the constructors will bulk-load eagerly. */
+constexpr std::uint64_t kPrefillLimit = 1ull << 22;
+
+/**
+ * Bulk-load an engine's tree: plant every block on its current posmap
+ * path, modeling a pre-existing protected dataset.
+ */
+template <typename Engine>
+void
+prefillEngine(Engine &engine, const PosMap &posmap)
+{
+    for (BlockId block = 0; block < engine.params().numBlocks; ++block)
+        engine.plant(block, posmap.get(block));
+}
+
+/**
+ * LRU model of prefetched lines resident in the LLC: misses on resident
+ * lines bypass the ORAM protocol entirely (PrORAM / Palermo+Prefetch).
+ */
+class PrefetchFilter
+{
+  public:
+    explicit PrefetchFilter(std::size_t capacity);
+
+    /** True (and refreshed) if the line is resident. */
+    bool hit(BlockId line);
+
+    /** Mark a line resident (just prefetched). */
+    void insert(BlockId line);
+
+    std::size_t size() const { return map_.size(); }
+
+  private:
+    std::size_t capacity_;
+    std::list<BlockId> lru_;
+    std::unordered_map<BlockId, std::list<BlockId>::iterator> map_;
+};
+
+/** Serial-protocol interface consumed by the baseline controller. */
+class Protocol
+{
+  public:
+    virtual ~Protocol() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Convert one LLC miss into ORAM request plans. Most protocols
+     * return exactly one plan; PrORAM may prepend background-eviction
+     * dummies or return a single llcHit plan when the prefetch filter
+     * absorbs the miss.
+     *
+     * @param pa Missing 64B line in the protected space.
+     * @param write True for store misses.
+     * @param value Payload for writes.
+     */
+    virtual std::vector<RequestPlan> access(BlockId pa, bool write,
+                                            std::uint64_t value) = 0;
+
+    /** Stash of a hierarchy level (occupancy studies). */
+    virtual const Stash &stashOf(unsigned level) const = 0;
+
+    /** Blocks of the protected space (for trace sizing). */
+    virtual std::uint64_t numBlocks() const = 0;
+};
+
+} // namespace palermo
+
+#endif // PALERMO_ORAM_HIERARCHY_HH

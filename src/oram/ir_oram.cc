@@ -1,0 +1,117 @@
+#include "oram/ir_oram.hh"
+
+#include "common/log.hh"
+
+namespace palermo {
+
+IrOram::IrOram(const ProtocolConfig &config)
+    : config_(config), rng_(mix64(config.seed) ^ 0x49524f52ull),
+      table_(config.irTableEntries)
+{
+    const auto blocks = config.levelBlocks();
+    Addr base = config.dramBase;
+    for (unsigned level = 0; level < kHierLevels; ++level) {
+        OramParams params =
+            OramParams::path(blocks[level], config.pathZ);
+        if (level == kLevelData)
+            applyIrTreeShrink(params);
+        const unsigned cached =
+            cachedLevelsFor(params, config.treetopBytes[level]);
+        engines_[level] = std::make_unique<PathEngine>(
+            params, base, cached, /*sibling_mode=*/false,
+            mix64(config.seed + 503 * level), config.stashCapacity);
+        posMaps_[level] = std::make_unique<PosMap>(
+            blocks[level], params.numLeaves,
+            mix64(config.seed + 599 * level));
+        if (config.prefill && blocks[level] <= kPrefillLimit)
+            prefillEngine(*engines_[level], *posMaps_[level]);
+        base = engines_[level]->layout().endAddr();
+    }
+}
+
+bool
+IrOram::residentOnChip(BlockId pa) const
+{
+    const PathEngine &data = *engines_[kLevelData];
+    if (data.inStash(pa))
+        return true;
+    // Check whether the block sits in a tree-top-cached bucket of its
+    // current path (exact residency, as tracked by IR-ORAM's hardware).
+    const Leaf leaf = posMaps_[kLevelData]->get(pa);
+    const OramParams &params = data.params();
+    const std::vector<NodeId> path = params.pathNodes(leaf);
+    for (NodeId node : path) {
+        if (params.levelOf(node) >= data.cachedLevels())
+            break;
+        const NodeMeta *meta = data.tree().peek(node);
+        if (meta != nullptr && meta->slotOf(pa) >= 0)
+            return true;
+    }
+    return false;
+}
+
+std::vector<RequestPlan>
+IrOram::access(BlockId pa, bool write, std::uint64_t value)
+{
+    RequestPlan plan;
+    plan.pa = pa;
+    plan.write = write;
+    ++irStats_.accesses;
+
+    // PosMap bypass: if the tracked table covers this PA and the block
+    // verifiably lives on-chip, the leaf is known without touching the
+    // recursive PosMap ORAMs.
+    const bool bypass = table_.hit(pa) && residentOnChip(pa);
+    const auto ids = config_.decompose(pa);
+
+    if (!bypass) {
+        for (unsigned level = kHierLevels; level-- > 1;) {
+            PathEngine &engine = *engines_[level];
+            PosMap &pm = *posMaps_[level];
+            const BlockId block = ids[level];
+            const Leaf leaf = pm.get(block);
+            const Leaf new_leaf = rng_.range(engine.params().numLeaves);
+            pm.set(block, new_leaf);
+            LevelPlan level_plan = engine.access(block, leaf, new_leaf);
+            level_plan.level = level;
+            plan.levels.push_back(std::move(level_plan));
+        }
+    } else {
+        ++irStats_.posmapBypasses;
+    }
+
+    PathEngine &data = *engines_[kLevelData];
+    PosMap &pm0 = *posMaps_[kLevelData];
+    const Leaf leaf = pm0.get(pa);
+    const Leaf new_leaf = rng_.range(data.params().numLeaves);
+    pm0.set(pa, new_leaf);
+    LevelPlan level_plan = data.access(pa, leaf, new_leaf);
+    level_plan.level = kLevelData;
+    plan.levels.push_back(std::move(level_plan));
+
+    table_.insert(pa);
+
+    if (write)
+        data.setPayload(pa, value);
+    plan.value = data.payloadOf(pa);
+
+    std::vector<RequestPlan> plans;
+    plans.push_back(std::move(plan));
+    return plans;
+}
+
+const Stash &
+IrOram::stashOf(unsigned level) const
+{
+    palermo_assert(level < kHierLevels);
+    return engines_[level]->stash();
+}
+
+bool
+IrOram::checkBlockInvariant(BlockId pa) const
+{
+    return engines_[kLevelData]->satisfiesInvariant(
+        pa, posMaps_[kLevelData]->get(pa));
+}
+
+} // namespace palermo

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * IrOram: IR-ORAM (Raoufi et al., HPCA'22) — path-access-type-based
+ * memory intensity reduction for PathORAM.
+ *
+ * Two mechanisms from the paper: (1) a hardware table tracks the PosMap
+ * mappings of blocks currently resident on-chip (stash or tree-top
+ * cache); hits bypass the recursive PosMap ORAM accesses entirely.
+ * (2) buckets in the middle band of the tree shrink, cutting per-access
+ * traffic.
+ */
+
+#ifndef PALERMO_ORAM_IR_ORAM_HH
+#define PALERMO_ORAM_IR_ORAM_HH
+
+#include <array>
+#include <memory>
+
+#include "common/rng.hh"
+#include "oram/hierarchy.hh"
+#include "oram/path_engine.hh"
+#include "oram/posmap.hh"
+
+namespace palermo {
+
+/** IR-ORAM running statistics. */
+struct IrOramStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t posmapBypasses = 0;
+
+    double bypassRate() const
+    {
+        return accesses
+            ? static_cast<double>(posmapBypasses) / accesses : 0.0;
+    }
+};
+
+/** Hierarchical IR-ORAM. */
+class IrOram : public Protocol
+{
+  public:
+    explicit IrOram(const ProtocolConfig &config);
+
+    const char *name() const override { return "IR-ORAM"; }
+
+    std::vector<RequestPlan> access(BlockId pa, bool write,
+                                    std::uint64_t value) override;
+
+    const Stash &stashOf(unsigned level) const override;
+    std::uint64_t numBlocks() const override { return config_.numBlocks; }
+
+    const IrOramStats &irStats() const { return irStats_; }
+    PathEngine &engine(unsigned level) { return *engines_[level]; }
+    bool checkBlockInvariant(BlockId pa) const;
+
+  private:
+    /** True if the block verifiably resides on-chip right now. */
+    bool residentOnChip(BlockId pa) const;
+
+    ProtocolConfig config_;
+    Rng rng_;
+    std::array<std::unique_ptr<PathEngine>, kHierLevels> engines_;
+    std::array<std::unique_ptr<PosMap>, kHierLevels> posMaps_;
+    PrefetchFilter table_; ///< Bounded recency table of tracked PAs.
+    IrOramStats irStats_;
+};
+
+} // namespace palermo
+
+#endif // PALERMO_ORAM_IR_ORAM_HH

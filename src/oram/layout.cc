@@ -1,0 +1,50 @@
+#include "oram/layout.hh"
+
+#include "common/log.hh"
+
+namespace palermo {
+
+TreeLayout::TreeLayout(Addr base, const OramParams &params)
+    : base_(base), params_(params)
+{
+    levelSlotBase_.resize(params.levels + 1);
+    std::uint64_t slots = 0;
+    for (unsigned level = 0; level < params.levels; ++level) {
+        levelSlotBase_[level] = slots;
+        slots += (std::uint64_t{1} << level) * params.slotsAt(level);
+    }
+    levelSlotBase_[params.levels] = slots;
+    const Addr data_bytes = slots * params.blockBytes;
+    metaBase_ = base_ + data_bytes;
+    footprint_ = data_bytes + params.numNodes * kBlockBytes;
+}
+
+Addr
+TreeLayout::slotAddr(NodeId node, unsigned slot) const
+{
+    const unsigned level = params_.levelOf(node);
+    palermo_assert(slot < params_.slotsAt(level));
+    const std::uint64_t index_in_level =
+        node - ((std::uint64_t{1} << level) - 1);
+    const std::uint64_t slot_index = levelSlotBase_[level]
+        + index_in_level * params_.slotsAt(level) + slot;
+    return base_ + slot_index * params_.blockBytes;
+}
+
+Addr
+TreeLayout::metaAddr(NodeId node) const
+{
+    palermo_assert(node < params_.numNodes);
+    return metaBase_ + node * kBlockBytes;
+}
+
+void
+TreeLayout::appendSlotOps(std::vector<MemOp> &ops, NodeId node,
+                          unsigned slot, bool write) const
+{
+    const Addr first = slotAddr(node, slot);
+    for (unsigned line = 0; line < params_.linesPerSlot(); ++line)
+        ops.push_back({first + line * kBlockBytes, write});
+}
+
+} // namespace palermo

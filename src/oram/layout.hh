@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Maps ORAM tree coordinates (node, slot) and node metadata onto byte
+ * addresses in the outsourced DRAM.
+ *
+ * Buckets are laid out in heap order, so the two children of a node are
+ * adjacent — the property PageORAM exploits for DRAM row-buffer locality.
+ * Node metadata lives in a separate contiguous region after the data
+ * region (one 64B line per node).
+ */
+
+#ifndef PALERMO_ORAM_LAYOUT_HH
+#define PALERMO_ORAM_LAYOUT_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "oram/oram_params.hh"
+
+namespace palermo {
+
+/** A single 64B DRAM operation planned by a protocol engine. */
+struct MemOp
+{
+    Addr addr;
+    bool write;
+};
+
+/** Address layout of one ORAM tree within the DRAM space. */
+class TreeLayout
+{
+  public:
+    /**
+     * @param base Base byte address of this tree's region.
+     * @param params Tree geometry (per-level capacities honored).
+     */
+    TreeLayout(Addr base, const OramParams &params);
+
+    /** First 64B line address of a bucket slot. */
+    Addr slotAddr(NodeId node, unsigned slot) const;
+
+    /** Address of a node's metadata line. */
+    Addr metaAddr(NodeId node) const;
+
+    /** Append the (possibly multi-line) ops for one slot access. */
+    void appendSlotOps(std::vector<MemOp> &ops, NodeId node, unsigned slot,
+                       bool write) const;
+
+    /** Total bytes occupied by this tree (data + metadata). */
+    Addr footprintBytes() const { return footprint_; }
+
+    /** End address (exclusive); the next tree may start here. */
+    Addr endAddr() const { return base_ + footprint_; }
+
+    Addr base() const { return base_; }
+
+  private:
+    Addr base_;
+    const OramParams params_;
+    /** Cumulative slot count before each level. */
+    std::vector<std::uint64_t> levelSlotBase_;
+    Addr metaBase_;
+    Addr footprint_;
+};
+
+} // namespace palermo
+
+#endif // PALERMO_ORAM_LAYOUT_HH

@@ -1,0 +1,277 @@
+#include "oram/level_engine.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace palermo {
+
+RingEngine::RingEngine(const OramParams &params, Addr base,
+                       ReshuffleMode mode, unsigned cached_levels,
+                       std::uint64_t seed, std::size_t stash_capacity)
+    : params_(params), layout_(base, params), mode_(mode),
+      cachedLevels_(std::min(cached_levels, params.levels)), rng_(seed),
+      tree_(params), stash_(stash_capacity)
+{
+    palermo_assert(params_.s >= 1, "RingORAM needs dummy slots");
+}
+
+bool
+RingEngine::levelCached(NodeId node) const
+{
+    return params_.levelOf(node) < cachedLevels_;
+}
+
+void
+RingEngine::appendSlot(std::vector<MemOp> &ops, NodeId node, unsigned slot,
+                       bool write) const
+{
+    if (levelCached(node))
+        return;
+    layout_.appendSlotOps(ops, node, slot, write);
+}
+
+void
+RingEngine::appendMeta(std::vector<MemOp> &ops, NodeId node,
+                       bool write) const
+{
+    if (levelCached(node))
+        return;
+    ops.push_back({layout_.metaAddr(node), write});
+}
+
+void
+RingEngine::resetBucket(NodeId node, std::vector<MemOp> &read_ops,
+                        std::vector<MemOp> &write_ops)
+{
+    NodeMeta &meta = tree_.node(node);
+    const unsigned level = params_.levelOf(node);
+    const unsigned capacity = params_.capacityAt(level);
+
+    // Fetch step: read the unused real blocks, padded to Z offsets so the
+    // bus trace is independent of the bucket's true occupancy.
+    for (unsigned i = 0; i < capacity; ++i)
+        appendSlot(read_ops, node, i, false);
+
+    // Functional: remaining valid blocks go to the stash. If the reset
+    // pulls in the in-flight target, it keeps its (already-remapped)
+    // destiny: ReadPath serves it from the stash afterwards.
+    for (const BlockContent &content : meta.takeAllValid())
+        stash_.put(content.block, content.leaf, content.payload);
+
+    // ...then WriteBucket refills from eligible stash blocks.
+    std::vector<BlockId> chosen =
+        stash_.eligibleFor(node, params_, capacity, inFlight_);
+    std::vector<BlockContent> refill;
+    refill.reserve(chosen.size());
+    for (BlockId block : chosen) {
+        const StashEntry entry = stash_.take(block);
+        refill.push_back({block, entry.payload, entry.leaf});
+    }
+    meta.resetWith(refill);
+
+    // Write-back: the whole bucket is re-encrypted and rewritten, plus
+    // its metadata line.
+    for (unsigned i = 0; i < params_.slotsAt(level); ++i)
+        appendSlot(write_ops, node, i, true);
+    appendMeta(write_ops, node, true);
+}
+
+LevelPlan
+RingEngine::access(BlockId block, Leaf leaf, Leaf new_leaf)
+{
+    palermo_assert(block < params_.numBlocks, "block outside tree space");
+    palermo_assert(leaf < params_.numLeaves);
+    palermo_assert(new_leaf < params_.numLeaves);
+
+    LevelPlan plan;
+    plan.block = block;
+    plan.oldLeaf = leaf;
+    plan.newLeaf = new_leaf;
+    inFlight_ = block;
+
+    const std::vector<NodeId> path = params_.pathNodes(leaf);
+
+    // LM: load path metadata (valid bits, access counters).
+    Phase lm{PhaseKind::LoadMeta, {}};
+    for (NodeId node : path)
+        appendMeta(lm.ops, node, false);
+
+    // ER: EarlyReshuffle — before (Pre) or after (Post) ReadPath.
+    Phase er_read{PhaseKind::ResetRead, {}};
+    Phase er_write{PhaseKind::ResetWrite, {}};
+    std::vector<NodeId> bypassed;
+    if (mode_ == ReshuffleMode::Pre) {
+        // Palermo Algorithm 2: reset at S-1 so this access's touch can
+        // never exhaust the dummies, and bypass the node in ReadPath.
+        for (NodeId node : path) {
+            NodeMeta &meta = tree_.node(node);
+            if (meta.accessed() >= params_.s - 1) {
+                resetBucket(node, er_read.ops, er_write.ops);
+                bypassed.push_back(node);
+                ++stats_.earlyReshuffles;
+            }
+        }
+    }
+
+    // RP: one slot per non-bypassed path node; the real block where
+    // present, a random unused dummy elsewhere.
+    Phase rp{PhaseKind::ReadPath, {}};
+    bool found = false;
+    for (NodeId node : path) {
+        if (std::find(bypassed.begin(), bypassed.end(), node)
+            != bypassed.end()) {
+            continue;
+        }
+        NodeMeta &meta = tree_.node(node);
+        const int real_slot = meta.slotOf(block);
+        if (real_slot >= 0) {
+            const BlockContent content =
+                meta.takeReal(static_cast<unsigned>(real_slot));
+            stash_.put(content.block, new_leaf, content.payload);
+            found = true;
+            appendSlot(rp.ops, node, static_cast<unsigned>(real_slot),
+                       false);
+        } else {
+            const int dummy_slot = meta.touchDummy(rng_);
+            palermo_assert(dummy_slot >= 0,
+                           "no usable dummy: reshuffle protocol violated");
+            appendSlot(rp.ops, node, static_cast<unsigned>(dummy_slot),
+                       false);
+        }
+        // NodeMetadata[NodeID].update(): persist the consumed valid bit.
+        appendMeta(rp.ops, node, true);
+    }
+
+    if (!found) {
+        if (stash_.contains(block)) {
+            // Pending block: already resident in the stash (possibly
+            // brought in by this or an earlier concurrent request, or by
+            // a bypassed bucket's reset pulling it in above).
+            plan.servedFromStash = true;
+            stash_.remap(block, new_leaf);
+            ++stats_.stashServes;
+        } else {
+            // First-ever touch: the block has never been written to the
+            // tree; conjure it with a zero payload.
+            plan.freshBlock = true;
+            stash_.put(block, new_leaf, 0);
+            ++stats_.freshBlocks;
+        }
+    } else if (stash_.contains(block)) {
+        stash_.remap(block, new_leaf);
+    }
+
+    if (mode_ == ReshuffleMode::Post) {
+        // Baseline Algorithm 1: EarlyReshuffle(leaf) after ReadPath.
+        for (NodeId node : path) {
+            NodeMeta &meta = tree_.node(node);
+            if (meta.accessed() >= params_.s) {
+                resetBucket(node, er_read.ops, er_write.ops);
+                ++stats_.earlyReshuffles;
+            }
+        }
+    }
+
+    // EP: deterministic eviction every A accesses.
+    ++accessCount_;
+    ++stats_.accesses;
+    Phase ep_read{PhaseKind::EvictRead, {}};
+    Phase ep_write{PhaseKind::EvictWrite, {}};
+    if (accessCount_ % params_.a == 0) {
+        plan.hasEvict = true;
+        ++stats_.evictions;
+        const Leaf g = evictionLeaf(evictCounter_++, params_.numLeaves);
+        const std::vector<NodeId> evict_path = params_.pathNodes(g);
+
+        // Fetch all remaining valid blocks on the eviction path into the
+        // stash (Z-padded reads per node)...
+        for (NodeId node : evict_path) {
+            NodeMeta &meta = tree_.node(node);
+            const unsigned capacity =
+                params_.capacityAt(params_.levelOf(node));
+            for (unsigned i = 0; i < capacity; ++i)
+                appendSlot(ep_read.ops, node, i, false);
+            for (const BlockContent &content : meta.takeAllValid())
+                stash_.put(content.block, content.leaf, content.payload);
+        }
+        // ...then push back leaf-to-root so blocks land as deep as their
+        // leaf assignment allows.
+        for (auto it = evict_path.rbegin(); it != evict_path.rend(); ++it) {
+            const NodeId node = *it;
+            const unsigned level = params_.levelOf(node);
+            const unsigned capacity = params_.capacityAt(level);
+            std::vector<BlockId> chosen =
+                stash_.eligibleFor(node, params_, capacity, inFlight_);
+            std::vector<BlockContent> refill;
+            refill.reserve(chosen.size());
+            for (BlockId b : chosen) {
+                const StashEntry entry = stash_.take(b);
+                refill.push_back({b, entry.payload, entry.leaf});
+            }
+            tree_.node(node).resetWith(refill);
+            for (unsigned i = 0; i < params_.slotsAt(level); ++i)
+                appendSlot(ep_write.ops, node, i, true);
+            appendMeta(ep_write.ops, node, true);
+        }
+    }
+
+    // Assemble phases in this protocol's execution order.
+    plan.phases.push_back(std::move(lm));
+    if (mode_ == ReshuffleMode::Pre) {
+        plan.phases.push_back(std::move(er_read));
+        plan.phases.push_back(std::move(er_write));
+        plan.phases.push_back(std::move(rp));
+    } else {
+        plan.phases.push_back(std::move(rp));
+        plan.phases.push_back(std::move(er_read));
+        plan.phases.push_back(std::move(er_write));
+    }
+    if (plan.hasEvict) {
+        plan.phases.push_back(std::move(ep_read));
+        plan.phases.push_back(std::move(ep_write));
+    }
+    return plan;
+}
+
+void
+RingEngine::plant(BlockId block, Leaf leaf, std::uint64_t payload)
+{
+    palermo_assert(block < params_.numBlocks);
+    palermo_assert(leaf < params_.numLeaves);
+    const std::vector<NodeId> path = params_.pathNodes(leaf);
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+        if (tree_.node(*it).tryPlace({block, payload, leaf}))
+            return;
+    }
+    stash_.put(block, leaf, payload);
+}
+
+std::uint64_t
+RingEngine::payloadOf(BlockId block) const
+{
+    return stash_.entry(block).payload;
+}
+
+void
+RingEngine::setPayload(BlockId block, std::uint64_t value)
+{
+    stash_.entry(block).payload = value;
+}
+
+bool
+RingEngine::satisfiesInvariant(BlockId block, Leaf leaf) const
+{
+    if (stash_.contains(block))
+        return true;
+    // Walk the path from the mapped leaf; the block must be in one of
+    // those buckets. Untouched buckets cannot contain it.
+    for (NodeId node : params_.pathNodes(leaf)) {
+        const NodeMeta *meta = tree_.peek(node);
+        if (meta != nullptr && meta->slotOf(block) >= 0)
+            return true;
+    }
+    return false;
+}
+
+} // namespace palermo

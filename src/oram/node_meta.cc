@@ -1,0 +1,125 @@
+#include "oram/node_meta.hh"
+
+#include "common/log.hh"
+
+namespace palermo {
+
+NodeMeta::NodeMeta(unsigned capacity, unsigned slots)
+    : capacity_(capacity), slots_(slots)
+{
+    palermo_assert(slots >= capacity);
+}
+
+unsigned
+NodeMeta::validRealCount() const
+{
+    unsigned count = 0;
+    for (const auto &slot : slots_) {
+        if (!slot.used && slot.content.block != kInvalid)
+            ++count;
+    }
+    return count;
+}
+
+int
+NodeMeta::slotOf(BlockId block) const
+{
+    for (unsigned i = 0; i < slots_.size(); ++i) {
+        if (!slots_[i].used && slots_[i].content.block == block)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+BlockContent
+NodeMeta::takeReal(unsigned slot)
+{
+    palermo_assert(slot < slots_.size());
+    Slot &s = slots_[slot];
+    palermo_assert(!s.used && s.content.block != kInvalid,
+                   "takeReal on used or dummy slot");
+    BlockContent out = s.content;
+    s.content = BlockContent{};
+    s.used = true;
+    ++accessed_;
+    return out;
+}
+
+int
+NodeMeta::touchDummy(Rng &rng)
+{
+    // Reservoir-sample a random unused dummy slot (matches the random
+    // permutation semantics of RingORAM without materializing it).
+    int chosen = -1;
+    unsigned seen = 0;
+    for (unsigned i = 0; i < slots_.size(); ++i) {
+        const Slot &s = slots_[i];
+        if (s.used || s.content.block != kInvalid)
+            continue;
+        ++seen;
+        if (rng.range(seen) == 0)
+            chosen = static_cast<int>(i);
+    }
+    if (chosen >= 0) {
+        slots_[chosen].used = true;
+        ++accessed_;
+    }
+    return chosen;
+}
+
+std::vector<BlockContent>
+NodeMeta::takeAllValid()
+{
+    std::vector<BlockContent> out;
+    for (auto &slot : slots_) {
+        if (!slot.used && slot.content.block != kInvalid) {
+            out.push_back(slot.content);
+            slot.content = BlockContent{};
+            slot.used = true;
+        }
+    }
+    return out;
+}
+
+void
+NodeMeta::resetWith(const std::vector<BlockContent> &blocks)
+{
+    palermo_assert(blocks.size() <= capacity_,
+                   "bucket overfilled on reset");
+    for (auto &slot : slots_) {
+        slot.content = BlockContent{};
+        slot.used = false;
+    }
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        palermo_assert(blocks[i].block != kInvalid);
+        slots_[i].content = blocks[i];
+    }
+    accessed_ = 0;
+}
+
+bool
+NodeMeta::tryPlace(const BlockContent &content)
+{
+    palermo_assert(content.block != kInvalid);
+    if (validRealCount() >= capacity_)
+        return false;
+    for (auto &slot : slots_) {
+        if (!slot.used && slot.content.block == kInvalid) {
+            slot.content = content;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+NodeMeta::needsReset() const
+{
+    for (const auto &slot : slots_) {
+        if (!slot.used && slot.content.block == kInvalid)
+            return false;
+    }
+    return true;
+}
+
+} // namespace palermo

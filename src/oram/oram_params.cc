@@ -1,0 +1,179 @@
+#include "oram/oram_params.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace palermo {
+
+namespace {
+
+// Smallest power of two >= value (value > 0).
+std::uint64_t
+ceilPow2(std::uint64_t value)
+{
+    return std::bit_ceil(value);
+}
+
+void
+derive(OramParams &p)
+{
+    palermo_assert(p.numBlocks > 0);
+    palermo_assert(p.z > 0);
+    // Leaves chosen so total real capacity is ~2x the protected blocks,
+    // the standard provisioning in PathORAM/RingORAM.
+    const std::uint64_t min_leaves =
+        std::max<std::uint64_t>(1, (p.numBlocks + p.z - 1) / p.z);
+    p.numLeaves = ceilPow2(min_leaves);
+    p.levels = static_cast<unsigned>(std::bit_width(p.numLeaves));
+    p.numNodes = 2 * p.numLeaves - 1;
+    p.check();
+}
+
+} // namespace
+
+OramParams
+OramParams::ring(std::uint64_t num_blocks, unsigned z, unsigned s,
+                 unsigned a, unsigned block_bytes)
+{
+    OramParams p;
+    p.numBlocks = num_blocks;
+    p.z = z;
+    p.s = s;
+    p.a = a;
+    p.blockBytes = block_bytes;
+    derive(p);
+    return p;
+}
+
+OramParams
+OramParams::path(std::uint64_t num_blocks, unsigned z,
+                 unsigned block_bytes)
+{
+    OramParams p;
+    p.numBlocks = num_blocks;
+    p.z = z;
+    p.s = 0;
+    p.a = 1;
+    p.blockBytes = block_bytes;
+    derive(p);
+    return p;
+}
+
+NodeId
+OramParams::nodeAt(unsigned level, std::uint64_t index) const
+{
+    palermo_assert(level < levels);
+    palermo_assert(index < (std::uint64_t{1} << level));
+    return ((std::uint64_t{1} << level) - 1) + index;
+}
+
+NodeId
+OramParams::ancestorOfLeaf(Leaf leaf, unsigned level) const
+{
+    palermo_assert(leaf < numLeaves);
+    palermo_assert(level < levels);
+    const unsigned leaf_level = leafLevel();
+    return nodeAt(level, leaf >> (leaf_level - level));
+}
+
+unsigned
+OramParams::levelOf(NodeId node) const
+{
+    palermo_assert(node < numNodes);
+    return static_cast<unsigned>(std::bit_width(node + 1)) - 1;
+}
+
+NodeId
+OramParams::parentOf(NodeId node) const
+{
+    return node == 0 ? 0 : (node - 1) / 2;
+}
+
+bool
+OramParams::onPath(NodeId node, Leaf leaf) const
+{
+    return ancestorOfLeaf(leaf, levelOf(node)) == node;
+}
+
+std::vector<NodeId>
+OramParams::pathNodes(Leaf leaf) const
+{
+    std::vector<NodeId> nodes;
+    nodes.reserve(levels);
+    for (unsigned level = 0; level < levels; ++level)
+        nodes.push_back(ancestorOfLeaf(leaf, level));
+    return nodes;
+}
+
+void
+OramParams::check() const
+{
+    palermo_assert(numLeaves > 0 && (numLeaves & (numLeaves - 1)) == 0,
+                   "leaves must be a power of two");
+    palermo_assert(numNodes == 2 * numLeaves - 1);
+    palermo_assert(levels >= 1);
+    palermo_assert(blockBytes % kBlockBytes == 0,
+                   "block must be whole 64B lines");
+    palermo_assert(a >= 1);
+    if (!zPerLevel.empty())
+        palermo_assert(zPerLevel.size() == levels);
+    // Capacity sanity: the tree's real capacity must exceed numBlocks.
+    std::uint64_t capacity = 0;
+    for (unsigned level = 0; level < levels; ++level)
+        capacity += (std::uint64_t{1} << level) * capacityAt(level);
+    palermo_assert(capacity >= numBlocks,
+                   "tree real capacity below protected block count");
+}
+
+Leaf
+evictionLeaf(std::uint64_t counter, std::uint64_t num_leaves)
+{
+    palermo_assert(num_leaves > 0 &&
+                   (num_leaves & (num_leaves - 1)) == 0);
+    const unsigned bits =
+        static_cast<unsigned>(std::bit_width(num_leaves)) - 1;
+    std::uint64_t masked = counter & (num_leaves - 1);
+    // Bit-reverse within `bits` bits.
+    std::uint64_t reversed = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+        reversed = (reversed << 1) | (masked & 1);
+        masked >>= 1;
+    }
+    return reversed;
+}
+
+void
+applyFatTree(OramParams &params)
+{
+    // LAORAM fat tree: 2Z capacity at the root tapering linearly to Z at
+    // the leaves, relieving stash pressure near the root where same-leaf
+    // prefetch groups contend for residency.
+    params.zPerLevel.assign(params.levels, params.z);
+    const unsigned leaf_level = params.leafLevel();
+    for (unsigned level = 0; level < params.levels; ++level) {
+        const double frac = leaf_level == 0
+            ? 0.0
+            : static_cast<double>(leaf_level - level) / leaf_level;
+        params.zPerLevel[level] =
+            params.z + static_cast<unsigned>(params.z * frac);
+    }
+    params.check();
+}
+
+void
+applyIrTreeShrink(OramParams &params)
+{
+    // IR-ORAM shrinks buckets in the middle band of the tree (the top is
+    // served by the tree-top cache and the leaves need full capacity).
+    params.zPerLevel.assign(params.levels, params.z);
+    const unsigned lo = params.levels / 3;
+    const unsigned hi = 2 * params.levels / 3;
+    for (unsigned level = lo; level < hi; ++level) {
+        params.zPerLevel[level] =
+            std::max(1u, params.z - params.z / 4);
+    }
+    params.check();
+}
+
+} // namespace palermo

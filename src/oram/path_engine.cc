@@ -1,0 +1,250 @@
+#include "oram/path_engine.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace palermo {
+
+PathEngine::PathEngine(const OramParams &params, Addr base,
+                       unsigned cached_levels, bool sibling_mode,
+                       std::uint64_t seed, std::size_t stash_capacity)
+    : params_(params), layout_(base, params),
+      cachedLevels_(std::min(cached_levels, params.levels)),
+      siblingMode_(sibling_mode), rng_(seed), tree_(params),
+      stash_(stash_capacity)
+{
+    palermo_assert(params_.s == 0,
+                   "PathORAM buckets have no distinguished dummies");
+}
+
+bool
+PathEngine::levelCached(NodeId node) const
+{
+    return params_.levelOf(node) < cachedLevels_;
+}
+
+void
+PathEngine::appendSlot(std::vector<MemOp> &ops, NodeId node, unsigned slot,
+                       bool write) const
+{
+    if (levelCached(node))
+        return;
+    layout_.appendSlotOps(ops, node, slot, write);
+}
+
+void
+PathEngine::appendMeta(std::vector<MemOp> &ops, NodeId node,
+                       bool write) const
+{
+    if (levelCached(node))
+        return;
+    ops.push_back({layout_.metaAddr(node), write});
+}
+
+std::vector<NodeId>
+PathEngine::accessSet(Leaf leaf) const
+{
+    std::vector<NodeId> nodes = params_.pathNodes(leaf);
+    if (siblingMode_) {
+        // PageORAM: include the sibling of every non-root path node;
+        // siblings are heap-adjacent, so these reads are row-buffer
+        // friendly.
+        const std::size_t path_len = nodes.size();
+        for (std::size_t i = 1; i < path_len; ++i) {
+            const NodeId node = nodes[i];
+            const NodeId sibling =
+                (node % 2 == 1) ? node + 1 : node - 1;
+            nodes.push_back(sibling);
+        }
+    }
+    return nodes;
+}
+
+bool
+PathEngine::eligible(NodeId node, Leaf leaf) const
+{
+    if (params_.onPath(node, leaf))
+        return true;
+    if (siblingMode_ && node != 0) {
+        // Sibling residence: the node's parent must lie on the path, so
+        // a future access-set read of `leaf` still covers this bucket.
+        return params_.onPath(params_.parentOf(node), leaf);
+    }
+    return false;
+}
+
+LevelPlan
+PathEngine::run(BlockId block, Leaf leaf, Leaf new_leaf, bool dummy,
+                const std::vector<BlockId> *group)
+{
+    palermo_assert(leaf < params_.numLeaves);
+
+    LevelPlan plan;
+    plan.block = block;
+    plan.oldLeaf = leaf;
+    plan.newLeaf = new_leaf;
+    inFlight_ = dummy ? kInvalid : block;
+
+    std::vector<NodeId> nodes = accessSet(leaf);
+    const std::size_t path_len = params_.levels;
+
+    // LM: bucket headers along the access set. In sibling (PageORAM)
+    // mode a DRAM page holds a bucket pair with one shared header, so
+    // only the path nodes contribute metadata lines.
+    Phase lm{PhaseKind::LoadMeta, {}};
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (siblingMode_ && i >= path_len)
+            continue;
+        appendMeta(lm.ops, nodes[i], false);
+    }
+
+    // RP: read every slot of every bucket in the access set into the
+    // stash.
+    Phase rp{PhaseKind::ReadPath, {}};
+    for (NodeId node : nodes) {
+        NodeMeta &meta = tree_.node(node);
+        const unsigned capacity =
+            params_.capacityAt(params_.levelOf(node));
+        for (unsigned i = 0; i < capacity; ++i)
+            appendSlot(rp.ops, node, i, false);
+        for (const BlockContent &content : meta.takeAllValid())
+            stash_.put(content.block, content.leaf, content.payload);
+    }
+
+    if (!dummy) {
+        if (stash_.contains(block)) {
+            // Found on the path (just pulled) or pending from earlier.
+            stash_.remap(block, new_leaf);
+        } else {
+            plan.freshBlock = true;
+            stash_.put(block, new_leaf, 0);
+            ++stats_.freshBlocks;
+        }
+    }
+
+    // Prefetch-group co-remap (before write-back, so the eviction sees
+    // the members' shared destiny and cannot plant them deep on the old
+    // path): every member is either on the just-read path (now in the
+    // stash) or fresh.
+    if (group != nullptr) {
+        for (BlockId member : *group) {
+            if (member == block)
+                continue;
+            if (stash_.contains(member)) {
+                stash_.remap(member, new_leaf);
+            } else {
+                stash_.put(member, new_leaf, 0);
+                ++stats_.freshBlocks;
+            }
+        }
+    }
+
+    // EP: immediately write the same access set back, deepest first, so
+    // blocks sink as far toward their leaves as eligibility allows.
+    Phase ep{PhaseKind::EvictWrite, {}};
+    plan.hasEvict = true;
+    std::vector<NodeId> order = nodes;
+    std::sort(order.begin(), order.end(),
+              [this](NodeId a, NodeId b) {
+                  return params_.levelOf(a) > params_.levelOf(b);
+              });
+    for (NodeId node : order) {
+        const unsigned level = params_.levelOf(node);
+        const unsigned capacity = params_.capacityAt(level);
+        std::vector<BlockContent> refill;
+        refill.reserve(capacity);
+        for (const auto &[b, entry] : stash_.entries()) {
+            if (refill.size() >= capacity)
+                break;
+            if (b == inFlight_)
+                continue;
+            if (eligible(node, entry.leaf))
+                refill.push_back({b, entry.payload, entry.leaf});
+        }
+        for (const BlockContent &content : refill)
+            stash_.take(content.block);
+        tree_.node(node).resetWith(refill);
+        for (unsigned i = 0; i < capacity; ++i)
+            appendSlot(ep.ops, node, i, true);
+        // Sibling-mode: the pair's shared header is written with the
+        // on-path bucket only.
+        if (!siblingMode_ || params_.onPath(node, leaf))
+            appendMeta(ep.ops, node, true);
+    }
+
+    ++stats_.accesses;
+    plan.phases.push_back(std::move(lm));
+    plan.phases.push_back(std::move(rp));
+    plan.phases.push_back(std::move(ep));
+    return plan;
+}
+
+LevelPlan
+PathEngine::access(BlockId block, Leaf leaf, Leaf new_leaf)
+{
+    palermo_assert(block < params_.numBlocks);
+    palermo_assert(new_leaf < params_.numLeaves);
+    return run(block, leaf, new_leaf, false);
+}
+
+LevelPlan
+PathEngine::accessGroup(BlockId block, const std::vector<BlockId> &members,
+                        Leaf leaf, Leaf new_leaf)
+{
+    palermo_assert(block < params_.numBlocks);
+    palermo_assert(new_leaf < params_.numLeaves);
+    return run(block, leaf, new_leaf, false, &members);
+}
+
+LevelPlan
+PathEngine::dummyAccess(Leaf leaf)
+{
+    return run(kInvalid, leaf, leaf, true);
+}
+
+void
+PathEngine::plant(BlockId block, Leaf leaf, std::uint64_t payload)
+{
+    palermo_assert(block < params_.numBlocks);
+    palermo_assert(leaf < params_.numLeaves);
+    const std::vector<NodeId> path = params_.pathNodes(leaf);
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+        if (tree_.node(*it).tryPlace({block, payload, leaf}))
+            return;
+        if (siblingMode_ && *it != 0) {
+            const NodeId sibling =
+                (*it % 2 == 1) ? *it + 1 : *it - 1;
+            if (tree_.node(sibling).tryPlace({block, payload, leaf}))
+                return;
+        }
+    }
+    stash_.put(block, leaf, payload);
+}
+
+std::uint64_t
+PathEngine::payloadOf(BlockId block) const
+{
+    return stash_.entry(block).payload;
+}
+
+void
+PathEngine::setPayload(BlockId block, std::uint64_t value)
+{
+    stash_.entry(block).payload = value;
+}
+
+bool
+PathEngine::satisfiesInvariant(BlockId block, Leaf leaf) const
+{
+    if (stash_.contains(block))
+        return true;
+    for (NodeId node : accessSet(leaf)) {
+        const NodeMeta *meta = tree_.peek(node);
+        if (meta != nullptr && meta->slotOf(block) >= 0)
+            return true;
+    }
+    return false;
+}
+
+} // namespace palermo

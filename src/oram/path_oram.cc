@@ -1,0 +1,73 @@
+#include "oram/path_oram.hh"
+
+#include "common/log.hh"
+
+namespace palermo {
+
+PathOram::PathOram(const ProtocolConfig &config)
+    : config_(config), rng_(mix64(config.seed) ^ 0x50415448ull)
+{
+    const auto blocks = config.levelBlocks();
+    Addr base = config.dramBase;
+    for (unsigned level = 0; level < kHierLevels; ++level) {
+        OramParams params =
+            OramParams::path(blocks[level], config.pathZ);
+        const unsigned cached =
+            cachedLevelsFor(params, config.treetopBytes[level]);
+        engines_[level] = std::make_unique<PathEngine>(
+            params, base, cached, /*sibling_mode=*/false,
+            mix64(config.seed + 211 * level), config.stashCapacity);
+        posMaps_[level] = std::make_unique<PosMap>(
+            blocks[level], params.numLeaves,
+            mix64(config.seed + 877 * level));
+        if (config.prefill && blocks[level] <= kPrefillLimit)
+            prefillEngine(*engines_[level], *posMaps_[level]);
+        base = engines_[level]->layout().endAddr();
+    }
+}
+
+std::vector<RequestPlan>
+PathOram::access(BlockId pa, bool write, std::uint64_t value)
+{
+    RequestPlan plan;
+    plan.pa = pa;
+    plan.write = write;
+
+    const auto ids = config_.decompose(pa);
+    for (unsigned level = kHierLevels; level-- > 0;) {
+        PathEngine &engine = *engines_[level];
+        PosMap &pm = *posMaps_[level];
+        const BlockId block = ids[level];
+        const Leaf leaf = pm.get(block);
+        const Leaf new_leaf = rng_.range(engine.params().numLeaves);
+        pm.set(block, new_leaf);
+        LevelPlan level_plan = engine.access(block, leaf, new_leaf);
+        level_plan.level = level;
+        plan.levels.push_back(std::move(level_plan));
+    }
+
+    PathEngine &data = *engines_[kLevelData];
+    if (write)
+        data.setPayload(ids[kLevelData], value);
+    plan.value = data.payloadOf(ids[kLevelData]);
+
+    std::vector<RequestPlan> plans;
+    plans.push_back(std::move(plan));
+    return plans;
+}
+
+const Stash &
+PathOram::stashOf(unsigned level) const
+{
+    palermo_assert(level < kHierLevels);
+    return engines_[level]->stash();
+}
+
+bool
+PathOram::checkBlockInvariant(BlockId pa) const
+{
+    return engines_[kLevelData]->satisfiesInvariant(
+        pa, posMaps_[kLevelData]->get(pa));
+}
+
+} // namespace palermo

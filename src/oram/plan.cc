@@ -1,0 +1,82 @@
+#include "oram/plan.hh"
+
+namespace palermo {
+
+const char *
+phaseKindName(PhaseKind kind)
+{
+    switch (kind) {
+      case PhaseKind::LoadMeta: return "LM";
+      case PhaseKind::ResetRead: return "ER-rd";
+      case PhaseKind::ResetWrite: return "ER-wr";
+      case PhaseKind::ReadPath: return "RP";
+      case PhaseKind::EvictRead: return "EP-rd";
+      case PhaseKind::EvictWrite: return "EP-wr";
+    }
+    return "?";
+}
+
+std::size_t
+Phase::readCount() const
+{
+    std::size_t count = 0;
+    for (const auto &op : ops) {
+        if (!op.write)
+            ++count;
+    }
+    return count;
+}
+
+std::size_t
+Phase::writeCount() const
+{
+    return ops.size() - readCount();
+}
+
+std::size_t
+LevelPlan::readOps() const
+{
+    std::size_t count = 0;
+    for (const auto &phase : phases)
+        count += phase.readCount();
+    return count;
+}
+
+std::size_t
+LevelPlan::writeOps() const
+{
+    std::size_t count = 0;
+    for (const auto &phase : phases)
+        count += phase.writeCount();
+    return count;
+}
+
+const Phase *
+LevelPlan::find(PhaseKind kind) const
+{
+    for (const auto &phase : phases) {
+        if (phase.kind == kind)
+            return &phase;
+    }
+    return nullptr;
+}
+
+std::size_t
+RequestPlan::readOps() const
+{
+    std::size_t count = 0;
+    for (const auto &level : levels)
+        count += level.readOps();
+    return count;
+}
+
+std::size_t
+RequestPlan::writeOps() const
+{
+    std::size_t count = 0;
+    for (const auto &level : levels)
+        count += level.writeOps();
+    return count;
+}
+
+} // namespace palermo

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Access plans: the bridge between functional protocol execution and the
+ * timing controllers.
+ *
+ * A protocol engine applies an access's functional effects eagerly and
+ * emits a LevelPlan — the ordered DRAM operation phases that access
+ * performs on one ORAM tree. Timing controllers replay plans under their
+ * own overlap rules: the serial controller plays phases strictly in
+ * order; the Palermo PE mesh overlaps phases within and across requests
+ * subject to the protocol's minimal dependencies.
+ */
+
+#ifndef PALERMO_ORAM_PLAN_HH
+#define PALERMO_ORAM_PLAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "oram/layout.hh"
+
+namespace palermo {
+
+/** Protocol step a phase belongs to (paper Fig. 5/6 notation). */
+enum class PhaseKind
+{
+    LoadMeta,     ///< LM: fetch path node metadata.
+    ResetRead,    ///< ER fetch: read Z-padded offsets of resetting nodes.
+    ResetWrite,   ///< ER write-back: rewrite reset buckets (posted).
+    ReadPath,     ///< RP: one slot per path node (Ring) / whole buckets
+                  ///<     (Path); includes posted metadata updates.
+    EvictRead,    ///< EP fetch: pull eviction-path buckets.
+    EvictWrite,   ///< EP write-back: rewrite eviction path (posted).
+};
+
+/** Human-readable phase name for logs and bench output. */
+const char *phaseKindName(PhaseKind kind);
+
+/** One phase: a batch of DRAM line operations issued together. */
+struct Phase
+{
+    PhaseKind kind;
+    std::vector<MemOp> ops;
+
+    std::size_t readCount() const;
+    std::size_t writeCount() const;
+};
+
+/** All phases one access performs on a single ORAM tree. */
+struct LevelPlan
+{
+    unsigned level = 0;       ///< Hierarchy level: 0=Data, 1=Pos1, 2=Pos2.
+    BlockId block = kInvalid; ///< Block accessed within this tree.
+    Leaf oldLeaf = 0;         ///< Path that was read.
+    Leaf newLeaf = 0;         ///< Fresh uniform remap target.
+    bool servedFromStash = false; ///< Target was pending in the stash.
+    bool freshBlock = false;  ///< First-ever touch of this block.
+    bool hasEvict = false;    ///< EvictPath scheduled on this access.
+    std::vector<Phase> phases; ///< Protocol execution order.
+
+    std::size_t readOps() const;
+    std::size_t writeOps() const;
+    const Phase *find(PhaseKind kind) const;
+};
+
+/** A full hierarchical ORAM request (one converted LLC miss). */
+struct RequestPlan
+{
+    BlockId pa = kInvalid;    ///< Protected-space block id.
+    bool write = false;
+    bool dummy = false;       ///< Background eviction, serves no miss.
+    bool llcHit = false;      ///< Filtered by prefetch; no ORAM work.
+    std::uint64_t value = 0;  ///< Payload returned for reads.
+    /** Per-tree plans in protocol execution order (deepest PosMap first). */
+    std::vector<LevelPlan> levels;
+
+    std::size_t readOps() const;
+    std::size_t writeOps() const;
+};
+
+} // namespace palermo
+
+#endif // PALERMO_ORAM_PLAN_HH

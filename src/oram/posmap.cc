@@ -1,0 +1,34 @@
+#include "oram/posmap.hh"
+
+#include "common/log.hh"
+
+namespace palermo {
+
+PosMap::PosMap(std::uint64_t num_blocks, std::uint64_t num_leaves,
+               std::uint64_t prf_key, unsigned default_group)
+    : numBlocks_(num_blocks), numLeaves_(num_leaves), prf_(prf_key),
+      defaultGroup_(default_group)
+{
+    palermo_assert(num_blocks > 0 && num_leaves > 0);
+    palermo_assert(default_group >= 1);
+}
+
+Leaf
+PosMap::get(BlockId block) const
+{
+    palermo_assert(block < numBlocks_, "posmap block out of range");
+    const auto it = entries_.find(block);
+    if (it != entries_.end())
+        return it->second;
+    return prf_.evalMod(block / defaultGroup_, numLeaves_);
+}
+
+void
+PosMap::set(BlockId block, Leaf leaf)
+{
+    palermo_assert(block < numBlocks_);
+    palermo_assert(leaf < numLeaves_);
+    entries_[block] = leaf;
+}
+
+} // namespace palermo

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Position map: block -> leaf assignment for one ORAM tree.
+ *
+ * Entries default to PRF(key, block) until first remapped, which is
+ * equivalent to the uniform random initialization assumed by the
+ * PathORAM proof while keeping host memory proportional to the touched
+ * working set. The hierarchical designs layer three of these (the two
+ * lower ones are content-stored inside PosMap ORAM blocks; this class
+ * tracks the authoritative mapping the simulator validates against).
+ */
+
+#ifndef PALERMO_ORAM_POSMAP_HH
+#define PALERMO_ORAM_POSMAP_HH
+
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "crypto/prf.hh"
+
+namespace palermo {
+
+/** Lazy position map with PRF-derived defaults. */
+class PosMap
+{
+  public:
+    /**
+     * @param num_blocks Protected block count of the tree.
+     * @param num_leaves Leaf count of the tree.
+     * @param prf_key Key for default-entry derivation.
+     * @param default_group Blocks per shared default leaf: 1 for the
+     *        standard independent-uniform initialization; the prefetch
+     *        group size for PrORAM/LAORAM, whose protocol forces
+     *        consecutive blocks onto one leaf.
+     */
+    PosMap(std::uint64_t num_blocks, std::uint64_t num_leaves,
+           std::uint64_t prf_key, unsigned default_group = 1);
+
+    /** Current leaf of a block. */
+    Leaf get(BlockId block) const;
+
+    /** Remap a block to a new leaf. */
+    void set(BlockId block, Leaf leaf);
+
+    std::uint64_t numBlocks() const { return numBlocks_; }
+    std::uint64_t numLeaves() const { return numLeaves_; }
+
+    /** Number of explicitly stored (touched) entries. */
+    std::size_t touchedCount() const { return entries_.size(); }
+
+  private:
+    std::uint64_t numBlocks_;
+    std::uint64_t numLeaves_;
+    Prf prf_;
+    unsigned defaultGroup_;
+    std::unordered_map<BlockId, Leaf> entries_;
+};
+
+} // namespace palermo
+
+#endif // PALERMO_ORAM_POSMAP_HH

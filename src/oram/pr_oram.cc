@@ -1,0 +1,190 @@
+#include "oram/pr_oram.hh"
+
+#include "common/log.hh"
+
+namespace palermo {
+
+PrOram::PrOram(const ProtocolConfig &config)
+    : config_(config), rng_(mix64(config.seed) ^ 0x50524f52ull),
+      filter_(config.llcResidentLines)
+{
+    palermo_assert(config.prefetchLen >= 1);
+    const auto blocks = config.levelBlocks();
+    Addr base = config.dramBase;
+    for (unsigned level = 0; level < kHierLevels; ++level) {
+        OramParams params =
+            OramParams::path(blocks[level], config.pathZ);
+        if (level == kLevelData && config.fatTree)
+            applyFatTree(params);
+        const unsigned cached =
+            cachedLevelsFor(params, config.treetopBytes[level]);
+        const std::size_t stash_cap = (level == kLevelData)
+            ? config.prStashCapacity : config.stashCapacity;
+        engines_[level] = std::make_unique<PathEngine>(
+            params, base, cached, /*sibling_mode=*/false,
+            mix64(config.seed + 307 * level), stash_cap);
+        // Data-level defaults share a leaf per prefetch group — the
+        // "consecutive addresses to the same leaf" mapping.
+        const unsigned group =
+            (level == kLevelData) ? config.prefetchLen : 1;
+        posMaps_[level] = std::make_unique<PosMap>(
+            blocks[level], params.numLeaves,
+            mix64(config.seed + 733 * level), group);
+        if (config.prefill && blocks[level] <= kPrefillLimit)
+            prefillEngine(*engines_[level], *posMaps_[level]);
+        base = engines_[level]->layout().endAddr();
+    }
+}
+
+std::size_t
+PrOram::dummyThreshold() const
+{
+    return engines_[kLevelData]->stash().capacity() * 3 / 4;
+}
+
+bool
+PrOram::prefetchActive() const
+{
+    if (config_.prefetchLen <= 1)
+        return false;
+    if (!config_.throttle)
+        return true;
+    // Dynamic throttle (paper §III-B): disable grouping while the recent
+    // dummy-request ratio is high.
+    if (window_.size() < 16)
+        return true;
+    std::size_t dummies = 0;
+    for (bool d : window_) {
+        if (d)
+            ++dummies;
+    }
+    return dummies * 4 < window_.size(); // < 25% dummy ratio
+}
+
+void
+PrOram::recordPlan(bool dummy)
+{
+    window_.push_back(dummy);
+    if (window_.size() > 64)
+        window_.pop_front();
+}
+
+std::vector<RequestPlan>
+PrOram::access(BlockId pa, bool write, std::uint64_t value)
+{
+    std::vector<RequestPlan> plans;
+
+    // Prefetched lines are LLC-resident: the miss never reaches ORAM.
+    if (config_.prefetchLen > 1 && filter_.hit(pa)) {
+        RequestPlan hit;
+        hit.pa = pa;
+        hit.write = write;
+        hit.llcHit = true;
+        PathEngine &data = *engines_[kLevelData];
+        // The line's block may still be in the stash; keep its payload
+        // coherent for functional checks.
+        if (write && data.inStash(pa))
+            data.setPayload(pa, value);
+        ++prStats_.llcHits;
+        plans.push_back(std::move(hit));
+        return plans;
+    }
+
+    PathEngine &data = *engines_[kLevelData];
+    PosMap &pm0 = *posMaps_[kLevelData];
+
+    // Background evictions: drain stash pressure with dummy requests
+    // before admitting the real one.
+    unsigned injected = 0;
+    while (data.stash().occupancy() > dummyThreshold() && injected < 8) {
+        RequestPlan dummy;
+        dummy.dummy = true;
+        const Leaf random_leaf =
+            rng_.range(data.params().numLeaves);
+        LevelPlan level_plan = data.dummyAccess(random_leaf);
+        level_plan.level = kLevelData;
+        dummy.levels.push_back(std::move(level_plan));
+        ++prStats_.dummyRequests;
+        recordPlan(true);
+        plans.push_back(std::move(dummy));
+        ++injected;
+    }
+
+    const bool grouped = prefetchActive();
+    if (!grouped && config_.prefetchLen > 1)
+        ++prStats_.throttledAccesses;
+
+    RequestPlan plan;
+    plan.pa = pa;
+    plan.write = write;
+
+    const auto ids = config_.decompose(pa);
+    for (unsigned level = kHierLevels; level-- > 1;) {
+        PathEngine &engine = *engines_[level];
+        PosMap &pm = *posMaps_[level];
+        const BlockId block = ids[level];
+        const Leaf leaf = pm.get(block);
+        const Leaf new_leaf = rng_.range(engine.params().numLeaves);
+        pm.set(block, new_leaf);
+        LevelPlan level_plan = engine.access(block, leaf, new_leaf);
+        level_plan.level = level;
+        plan.levels.push_back(std::move(level_plan));
+    }
+
+    // Data level with group semantics.
+    const Leaf leaf = pm0.get(pa);
+    const Leaf new_leaf = rng_.range(data.params().numLeaves);
+    pm0.set(pa, new_leaf);
+
+    LevelPlan level_plan;
+    if (grouped) {
+        // Prefetch: every group sibling still sharing this leaf (the
+        // throttle may have ungrouped some) is co-remapped onto the new
+        // shared leaf inside the engine access, then marked resident.
+        std::vector<BlockId> members;
+        const BlockId group_base =
+            (pa / config_.prefetchLen) * config_.prefetchLen;
+        for (unsigned i = 0; i < config_.prefetchLen; ++i) {
+            const BlockId member = group_base + i;
+            if (member >= config_.numBlocks || member == pa)
+                continue;
+            if (pm0.get(member) != leaf)
+                continue;
+            members.push_back(member);
+        }
+        level_plan = data.accessGroup(pa, members, leaf, new_leaf);
+        for (BlockId member : members) {
+            pm0.set(member, new_leaf);
+            filter_.insert(member);
+        }
+        filter_.insert(pa);
+    } else {
+        level_plan = data.access(pa, leaf, new_leaf);
+    }
+    level_plan.level = kLevelData;
+    plan.levels.push_back(std::move(level_plan));
+
+    if (write)
+        data.setPayload(pa, value);
+    plan.value = data.payloadOf(pa);
+    ++prStats_.realRequests;
+    recordPlan(false);
+    plans.push_back(std::move(plan));
+    return plans;
+}
+
+const Stash &
+PrOram::stashOf(unsigned level) const
+{
+    palermo_assert(level < kHierLevels);
+    return engines_[level]->stash();
+}
+
+bool
+PrOram::checkBlockInvariant(BlockId pa) const
+{
+    return engines_[kLevelData]->satisfiesInvariant(
+        pa, posMaps_[kLevelData]->get(pa));
+}
+
+} // namespace palermo

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * PrOram: the prefetching PathORAM family (PrORAM [50] and LAORAM [39]).
+ *
+ * PrORAM forces consecutive physical addresses onto the same ORAM leaf so
+ * one path access prefetches a whole group into the LLC; subsequent
+ * misses on resident lines bypass the protocol. The cost (paper §III-B)
+ * is stash pressure: after each access a whole group must re-enter the
+ * tree along a single fresh path, so when the stash exceeds a threshold
+ * the protocol inserts dummy background-eviction requests. A dynamic
+ * throttle disables grouping when the recent dummy ratio is high.
+ * LAORAM's Fat-Tree variant widens buckets near the root to relieve the
+ * pressure.
+ */
+
+#ifndef PALERMO_ORAM_PR_ORAM_HH
+#define PALERMO_ORAM_PR_ORAM_HH
+
+#include <array>
+#include <deque>
+#include <memory>
+
+#include "common/rng.hh"
+#include "oram/hierarchy.hh"
+#include "oram/path_engine.hh"
+#include "oram/posmap.hh"
+
+namespace palermo {
+
+/** PrORAM running statistics (Fig. 4 inputs). */
+struct PrOramStats
+{
+    std::uint64_t realRequests = 0;
+    std::uint64_t dummyRequests = 0;
+    std::uint64_t llcHits = 0;
+    std::uint64_t throttledAccesses = 0;
+
+    double dummyRatio() const
+    {
+        const auto total = realRequests + dummyRequests;
+        return total ? static_cast<double>(dummyRequests) / total : 0.0;
+    }
+};
+
+/** Prefetching PathORAM (PrORAM; LAORAM with config.fatTree). */
+class PrOram : public Protocol
+{
+  public:
+    explicit PrOram(const ProtocolConfig &config);
+
+    const char *name() const override
+    {
+        return config_.fatTree ? "LAORAM" : "PrORAM";
+    }
+
+    std::vector<RequestPlan> access(BlockId pa, bool write,
+                                    std::uint64_t value) override;
+
+    const Stash &stashOf(unsigned level) const override;
+    std::uint64_t numBlocks() const override { return config_.numBlocks; }
+
+    const PrOramStats &prStats() const { return prStats_; }
+    PathEngine &engine(unsigned level) { return *engines_[level]; }
+    const PosMap &posMap(unsigned level) const { return *posMaps_[level]; }
+    bool checkBlockInvariant(BlockId pa) const;
+
+  private:
+    /** Stash level above which dummy evictions are injected. */
+    std::size_t dummyThreshold() const;
+
+    /** Consult the throttle window; true if grouping is active. */
+    bool prefetchActive() const;
+    void recordPlan(bool dummy);
+
+    ProtocolConfig config_;
+    Rng rng_;
+    std::array<std::unique_ptr<PathEngine>, kHierLevels> engines_;
+    std::array<std::unique_ptr<PosMap>, kHierLevels> posMaps_;
+    PrefetchFilter filter_;
+    std::deque<bool> window_; ///< Recent plans: true = dummy.
+    PrOramStats prStats_;
+};
+
+} // namespace palermo
+
+#endif // PALERMO_ORAM_PR_ORAM_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * RingOram: the baseline three-level hierarchical RingORAM protocol
+ * (paper Algorithm 1 + §II-D recursion), serving one request at a time.
+ */
+
+#ifndef PALERMO_ORAM_RING_ORAM_HH
+#define PALERMO_ORAM_RING_ORAM_HH
+
+#include <array>
+#include <memory>
+
+#include "common/rng.hh"
+#include "oram/hierarchy.hh"
+#include "oram/level_engine.hh"
+#include "oram/posmap.hh"
+
+namespace palermo {
+
+/** Hierarchical RingORAM (baseline). */
+class RingOram : public Protocol
+{
+  public:
+    explicit RingOram(const ProtocolConfig &config);
+
+    const char *name() const override { return "RingORAM"; }
+
+    std::vector<RequestPlan> access(BlockId pa, bool write,
+                                    std::uint64_t value) override;
+
+    const Stash &stashOf(unsigned level) const override;
+    std::uint64_t numBlocks() const override
+    {
+        return config_.numBlocks;
+    }
+
+    RingEngine &engine(unsigned level) { return *engines_[level]; }
+    const PosMap &posMap(unsigned level) const { return *posMaps_[level]; }
+
+    /** Invariant check for one data block (tests). */
+    bool checkBlockInvariant(BlockId pa) const;
+
+  private:
+    ProtocolConfig config_;
+    Rng rng_;
+    std::array<std::unique_ptr<RingEngine>, kHierLevels> engines_;
+    std::array<std::unique_ptr<PosMap>, kHierLevels> posMaps_;
+};
+
+} // namespace palermo
+
+#endif // PALERMO_ORAM_RING_ORAM_HH

@@ -1,0 +1,81 @@
+#include "oram/stash.hh"
+
+#include "common/log.hh"
+#include "oram/oram_params.hh"
+
+namespace palermo {
+
+Stash::Stash(std::size_t capacity) : capacity_(capacity)
+{
+    palermo_assert(capacity > 0);
+}
+
+void
+Stash::noteOccupancy()
+{
+    const std::size_t occ = entries_.size();
+    if (occ > highWatermark_)
+        highWatermark_ = occ;
+    if (occ > windowWatermark_)
+        windowWatermark_ = occ;
+    if (occ > capacity_)
+        overflowed_ = true;
+}
+
+StashEntry &
+Stash::entry(BlockId block)
+{
+    auto it = entries_.find(block);
+    palermo_assert(it != entries_.end(), "block missing from stash");
+    return it->second;
+}
+
+const StashEntry &
+Stash::entry(BlockId block) const
+{
+    auto it = entries_.find(block);
+    palermo_assert(it != entries_.end(), "block missing from stash");
+    return it->second;
+}
+
+void
+Stash::put(BlockId block, Leaf leaf, std::uint64_t payload)
+{
+    palermo_assert(block != kInvalid);
+    entries_[block] = StashEntry{leaf, payload};
+    noteOccupancy();
+}
+
+void
+Stash::remap(BlockId block, Leaf leaf)
+{
+    entry(block).leaf = leaf;
+}
+
+StashEntry
+Stash::take(BlockId block)
+{
+    auto it = entries_.find(block);
+    palermo_assert(it != entries_.end(), "take of absent block");
+    StashEntry out = it->second;
+    entries_.erase(it);
+    return out;
+}
+
+std::vector<BlockId>
+Stash::eligibleFor(NodeId node, const OramParams &params,
+                   std::size_t max_count, BlockId exclude) const
+{
+    std::vector<BlockId> out;
+    for (const auto &[block, entry] : entries_) {
+        if (out.size() >= max_count)
+            break;
+        if (block == exclude)
+            continue;
+        if (params.onPath(node, entry.leaf))
+            out.push_back(block);
+    }
+    return out;
+}
+
+} // namespace palermo

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The ORAM stash: the small trusted on-chip buffer holding blocks in
+ * flight between the tree and the processor.
+ *
+ * RingORAM proves a 256-entry stash overflows with probability < 2^-103;
+ * Palermo preserves that bound by serializing EP after RP. The class
+ * tracks occupancy watermarks so experiments (Fig. 12) can demonstrate
+ * boundedness, and exposes an overflow signal PrORAM uses to trigger
+ * background (dummy) evictions.
+ */
+
+#ifndef PALERMO_ORAM_STASH_HH
+#define PALERMO_ORAM_STASH_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "oram/node_meta.hh"
+
+namespace palermo {
+
+struct OramParams;
+
+/** One stashed block with its current leaf assignment. */
+struct StashEntry
+{
+    Leaf leaf = 0;
+    std::uint64_t payload = 0;
+};
+
+/** Bounded on-chip stash with watermark accounting. */
+class Stash
+{
+  public:
+    explicit Stash(std::size_t capacity = 256);
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t occupancy() const { return entries_.size(); }
+
+    /** Highest occupancy ever observed. */
+    std::size_t highWatermark() const { return highWatermark_; }
+
+    /** Highest occupancy since the last watermark window reset. */
+    std::size_t windowWatermark() const { return windowWatermark_; }
+    void resetWindowWatermark() { windowWatermark_ = occupancy(); }
+
+    /** True if occupancy ever exceeded capacity. */
+    bool overflowed() const { return overflowed_; }
+
+    bool contains(BlockId block) const { return entries_.count(block) > 0; }
+
+    /** Lookup; panics if absent. */
+    StashEntry &entry(BlockId block);
+    const StashEntry &entry(BlockId block) const;
+
+    /** Insert or overwrite a block. */
+    void put(BlockId block, Leaf leaf, std::uint64_t payload);
+
+    /** Update the leaf of a stashed block (remap-on-access). */
+    void remap(BlockId block, Leaf leaf);
+
+    /** Remove a block (eviction into the tree). */
+    StashEntry take(BlockId block);
+
+    /**
+     * Collect up to `max_count` stashed blocks eligible for the given
+     * node (their leaf path passes through it), preferring arbitrary
+     * order; does not remove them.
+     * @param exclude Block to skip (the in-flight access target, which
+     *        must stay in the stash until its request retires).
+     */
+    std::vector<BlockId> eligibleFor(NodeId node, const OramParams &params,
+                                     std::size_t max_count,
+                                     BlockId exclude = kInvalid) const;
+
+    /** Iterate all entries (tests / invariant checks). */
+    const std::unordered_map<BlockId, StashEntry> &entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    void noteOccupancy();
+
+    std::size_t capacity_;
+    std::unordered_map<BlockId, StashEntry> entries_;
+    std::size_t highWatermark_ = 0;
+    std::size_t windowWatermark_ = 0;
+    bool overflowed_ = false;
+};
+
+} // namespace palermo
+
+#endif // PALERMO_ORAM_STASH_HH

@@ -1,0 +1,41 @@
+#include "oram/tree_store.hh"
+
+#include "common/log.hh"
+
+namespace palermo {
+
+TreeStore::TreeStore(const OramParams &params) : params_(params)
+{
+    params_.check();
+}
+
+NodeMeta &
+TreeStore::node(NodeId id)
+{
+    palermo_assert(id < params_.numNodes, "node id out of tree");
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) {
+        const unsigned level = params_.levelOf(id);
+        it = nodes_.emplace(id, NodeMeta(params_.capacityAt(level),
+                                         params_.slotsAt(level))).first;
+    }
+    return it->second;
+}
+
+const NodeMeta *
+TreeStore::peek(NodeId id) const
+{
+    const auto it = nodes_.find(id);
+    return it == nodes_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t
+TreeStore::totalValidBlocks() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[id, meta] : nodes_)
+        total += meta.validRealCount();
+    return total;
+}
+
+} // namespace palermo

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Lazily allocated ORAM tree: bucket state materializes on first touch.
+ *
+ * A 16 GB protected space has 2^25 nodes; an execution only ever touches
+ * the paths it accesses, so lazy allocation makes the paper's full
+ * Table III geometry constructible in O(touched paths) host memory.
+ * Untouched buckets are, by definition, all-dummy and fresh.
+ */
+
+#ifndef PALERMO_ORAM_TREE_STORE_HH
+#define PALERMO_ORAM_TREE_STORE_HH
+
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "oram/node_meta.hh"
+#include "oram/oram_params.hh"
+
+namespace palermo {
+
+/** Container of materialized bucket states for one ORAM tree. */
+class TreeStore
+{
+  public:
+    explicit TreeStore(const OramParams &params);
+
+    /** Get (materializing if needed) the bucket state of a node. */
+    NodeMeta &node(NodeId id);
+
+    /** Read-only lookup without materializing; nullptr if untouched. */
+    const NodeMeta *peek(NodeId id) const;
+
+    /** True if the node has been materialized (touched). */
+    bool touched(NodeId id) const { return nodes_.count(id) > 0; }
+
+    /** Number of materialized buckets (memory footprint probe). */
+    std::size_t touchedCount() const { return nodes_.size(); }
+
+    /** Count valid real blocks across materialized buckets. */
+    std::uint64_t totalValidBlocks() const;
+
+    const OramParams &params() const { return params_; }
+
+  private:
+    OramParams params_;
+    std::unordered_map<NodeId, NodeMeta> nodes_;
+};
+
+} // namespace palermo
+
+#endif // PALERMO_ORAM_TREE_STORE_HH

@@ -1,0 +1,91 @@
+#include "power/area_power.hh"
+
+namespace palermo {
+
+namespace {
+
+// 28nm technology coefficients, calibrated against the paper's
+// post-synthesis totals (Fig. 15: 5.78 mm^2, 2.14 W for the Table III
+// floorplan). SRAM density from CACTI-style estimates; eDRAM ~2.5x
+// denser; logic blocks sized per synthesized FSM + datapath.
+constexpr double kSramMm2PerMB = 1.30;
+constexpr double kEdramMm2PerMB = 0.17;
+constexpr double kSramWPerMBGHz = 0.35;
+constexpr double kEdramWPerMBGHz = 0.030;
+constexpr double kPeLogicMm2 = 0.028;      // FSM + address datapath.
+constexpr double kPeLogicWPerGHz = 0.008;
+constexpr double kCryptoUnitMm2 = 0.075;   // AES-class pipeline.
+constexpr double kCryptoUnitWPerGHz = 0.020;
+
+double
+toMB(std::uint64_t bytes)
+{
+    return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+} // namespace
+
+double
+AreaPowerEstimate::totalAreaMm2() const
+{
+    double total = 0.0;
+    for (const auto &c : components)
+        total += c.areaMm2;
+    return total;
+}
+
+double
+AreaPowerEstimate::totalPowerW() const
+{
+    double total = 0.0;
+    for (const auto &c : components)
+        total += c.powerW;
+    return total;
+}
+
+AreaPowerEstimate
+estimateController(const ControllerFloorplan &plan)
+{
+    AreaPowerEstimate est;
+    const unsigned pes = plan.peRows * plan.peColumns;
+    const double ghz = plan.clockGHz;
+
+    const double pe_buffer_mb =
+        toMB(static_cast<std::uint64_t>(pes) * plan.peBufferBytesPerPe);
+    est.components.push_back({
+        "PE data buffers",
+        pe_buffer_mb * kSramMm2PerMB,
+        pe_buffer_mb * kSramWPerMBGHz * ghz,
+    });
+    est.components.push_back({
+        "PE control logic",
+        pes * kPeLogicMm2,
+        pes * kPeLogicWPerGHz * ghz,
+    });
+    const double treetop_mb = toMB(plan.treetopBytesTotal);
+    est.components.push_back({
+        "Tree-top caches",
+        treetop_mb * kSramMm2PerMB,
+        treetop_mb * kSramWPerMBGHz * ghz,
+    });
+    const double posmap_mb = toMB(plan.posmap3Bytes);
+    est.components.push_back({
+        "PosMap3 eDRAM",
+        posmap_mb * kEdramMm2PerMB,
+        posmap_mb * kEdramWPerMBGHz * ghz,
+    });
+    const double stash_mb = toMB(plan.stashBytesTotal);
+    est.components.push_back({
+        "Stashes",
+        stash_mb * kSramMm2PerMB,
+        stash_mb * kSramWPerMBGHz * ghz,
+    });
+    est.components.push_back({
+        "Crypto units",
+        plan.cryptoUnits * kCryptoUnitMm2,
+        plan.cryptoUnits * kCryptoUnitWPerGHz * ghz,
+    });
+    return est;
+}
+
+} // namespace palermo

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Analytical area/power model of the Palermo ORAM controller (Fig. 15).
+ *
+ * The paper synthesizes SystemVerilog RTL with a commercial 28nm library
+ * and uses CACTI for the SRAM macros; neither flow is available here
+ * (DESIGN.md §1, substitution 18), so this model composes per-component
+ * 28nm density/power coefficients — SRAM, eDRAM, and synthesized logic —
+ * calibrated so the Table III configuration reproduces the paper's
+ * totals (5.78 mm^2, 2.14 W at 1.6 GHz). The value of the model is its
+ * scaling behavior: benches sweep PE count and cache capacities.
+ */
+
+#ifndef PALERMO_POWER_AREA_POWER_HH
+#define PALERMO_POWER_AREA_POWER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace palermo {
+
+/** One hardware component's estimate. */
+struct ComponentEstimate
+{
+    std::string name;
+    double areaMm2;
+    double powerW;
+};
+
+/** Palermo controller structural parameters (Table III defaults). */
+struct ControllerFloorplan
+{
+    unsigned peRows = 3;
+    unsigned peColumns = 8;
+    std::uint64_t peBufferBytesPerPe = 24 * 1024;
+    std::uint64_t treetopBytesTotal = 3 * 256 * 1024; ///< 24 x 32 KB.
+    std::uint64_t posmap3Bytes = 16ull * 1024 * 1024; ///< 16 x 1 MB eDRAM.
+    std::uint64_t stashBytesTotal = 3 * 16 * 1024;    ///< 48 KB SRAM.
+    unsigned cryptoUnits = 8;
+    double clockGHz = 1.6;
+};
+
+/** Full-controller estimate with component breakdown. */
+struct AreaPowerEstimate
+{
+    std::vector<ComponentEstimate> components;
+    double totalAreaMm2() const;
+    double totalPowerW() const;
+};
+
+/** Evaluate the model for a floorplan. */
+AreaPowerEstimate estimateController(const ControllerFloorplan &plan);
+
+} // namespace palermo
+
+#endif // PALERMO_POWER_AREA_POWER_HH

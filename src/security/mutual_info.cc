@@ -1,0 +1,87 @@
+#include "security/mutual_info.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace palermo {
+
+namespace {
+
+// joint * log2(joint / (pb * po)) with the 0 log 0 = 0 convention.
+double
+term(double joint, double pb, double po)
+{
+    if (joint <= 0.0 || pb <= 0.0 || po <= 0.0)
+        return 0.0;
+    return joint * std::log2(joint / (pb * po));
+}
+
+} // namespace
+
+double
+mutualInformation(double p1, double p2)
+{
+    palermo_assert(p1 >= 0.0 && p1 <= 1.0);
+    palermo_assert(p2 >= 0.0 && p2 <= 1.0);
+    // Equation 1: I(B; O) with uniform priors over the two behaviors.
+    // Expanding the paper's form: each addend is
+    // P(b, o) log2(P(b, o) / (P(b) P(o))), e.g. the first is
+    // (p1/2) log2(2 p1 / (p1 + p2)).
+    const double po_long = (p1 + p2) / 2;
+    const double po_short = 1.0 - po_long;
+    return term(p1 / 2, 0.5, po_long) + term(p2 / 2, 0.5, po_long)
+        + term((1 - p1) / 2, 0.5, po_short)
+        + term((1 - p2) / 2, 0.5, po_short);
+}
+
+AttackerModel
+fitAttackerModel(const std::vector<LatencySample> &samples)
+{
+    palermo_assert(!samples.empty(), "no latency samples");
+    std::vector<double> latencies;
+    latencies.reserve(samples.size());
+    for (const auto &s : samples)
+        latencies.push_back(s.latency);
+    std::nth_element(latencies.begin(),
+                     latencies.begin() + latencies.size() / 2,
+                     latencies.end());
+    const double median = latencies[latencies.size() / 2];
+
+    std::size_t stash_total = 0;
+    std::size_t stash_long = 0;
+    std::size_t tree_total = 0;
+    std::size_t tree_long = 0;
+    for (const auto &s : samples) {
+        const bool longer = s.latency > median;
+        if (s.servedFromStash) {
+            ++stash_total;
+            stash_long += longer;
+        } else {
+            ++tree_total;
+            tree_long += longer;
+        }
+    }
+
+    AttackerModel model;
+    model.median = median;
+    model.stashSamples = stash_total;
+    model.treeSamples = tree_total;
+    // With no samples of one class the attacker learns nothing from it;
+    // use the uninformative 0.5.
+    model.p1 = stash_total
+        ? static_cast<double>(stash_long) / stash_total : 0.5;
+    model.p2 = tree_total
+        ? static_cast<double>(tree_long) / tree_total : 0.5;
+    return model;
+}
+
+double
+mutualInformationOf(const std::vector<LatencySample> &samples)
+{
+    const AttackerModel model = fitAttackerModel(samples);
+    return mutualInformation(model.p1, model.p2);
+}
+
+} // namespace palermo

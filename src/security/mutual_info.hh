@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Mutual-information leakage analysis (paper §VI, Table I, Equation 1).
+ *
+ * The attacker observes each ORAM response latency and classifies it as
+ * longer/shorter than the median. The victim behavior is whether the
+ * requested block was in the stash or in the ORAM tree. With
+ * p1 = P(longer | stash) and p2 = P(longer | tree), Equation 1 gives the
+ * mutual information between behavior and observation under uniform
+ * behavior priors; M ~ 0 means timing reveals nothing about hits.
+ */
+
+#ifndef PALERMO_SECURITY_MUTUAL_INFO_HH
+#define PALERMO_SECURITY_MUTUAL_INFO_HH
+
+#include <vector>
+
+#include "controller/controller_stats.hh"
+
+namespace palermo {
+
+/** Attacker observation probabilities (Table I). */
+struct AttackerModel
+{
+    double p1;         ///< P(longer-than-median | block in stash).
+    double p2;         ///< P(longer-than-median | block in tree).
+    double median;     ///< Median latency used as the threshold.
+    std::size_t stashSamples;
+    std::size_t treeSamples;
+};
+
+/** Equation 1: mutual information from (p1, p2), in bits, in [0, 1]. */
+double mutualInformation(double p1, double p2);
+
+/** Fit the Table I attacker model to per-request samples. */
+AttackerModel fitAttackerModel(const std::vector<LatencySample> &samples);
+
+/** End-to-end: samples -> Equation 1 M value. */
+double mutualInformationOf(const std::vector<LatencySample> &samples);
+
+} // namespace palermo
+
+#endif // PALERMO_SECURITY_MUTUAL_INFO_HH

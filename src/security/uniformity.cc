@@ -1,0 +1,79 @@
+#include "security/uniformity.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace palermo {
+
+ChiSquareResult
+chiSquareUniform(const std::vector<std::uint64_t> &counts)
+{
+    palermo_assert(counts.size() >= 2, "need at least two bins");
+    std::uint64_t total = 0;
+    for (auto c : counts)
+        total += c;
+    palermo_assert(total > 0, "empty sample");
+
+    const double expected =
+        static_cast<double>(total) / counts.size();
+    double stat = 0.0;
+    for (auto c : counts) {
+        const double d = static_cast<double>(c) - expected;
+        stat += d * d / expected;
+    }
+
+    ChiSquareResult result;
+    result.statistic = stat;
+    result.dof = counts.size() - 1;
+    // Wilson-Hilferty approximation of the chi-square 99th percentile.
+    const double k = static_cast<double>(result.dof);
+    const double z = 2.326; // z_{0.99}
+    const double wh = k * std::pow(1.0 - 2.0 / (9.0 * k)
+                                       + z * std::sqrt(2.0 / (9.0 * k)),
+                                   3.0);
+    result.threshold = wh;
+    result.uniform = stat <= wh;
+    return result;
+}
+
+ChiSquareResult
+leafUniformity(const std::vector<Leaf> &leaves, std::uint64_t num_leaves,
+               std::size_t num_bins)
+{
+    palermo_assert(num_leaves > 0);
+    palermo_assert(num_bins >= 2 && num_bins <= num_leaves);
+    std::vector<std::uint64_t> counts(num_bins, 0);
+    for (Leaf leaf : leaves) {
+        palermo_assert(leaf < num_leaves, "leaf out of range");
+        ++counts[leaf * num_bins / num_leaves];
+    }
+    return chiSquareUniform(counts);
+}
+
+double
+serialCorrelation(const std::vector<Leaf> &leaves)
+{
+    if (leaves.size() < 3)
+        return 0.0;
+    const std::size_t n = leaves.size() - 1;
+    double mean = 0.0;
+    for (Leaf leaf : leaves)
+        mean += static_cast<double>(leaf);
+    mean /= leaves.size();
+
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = static_cast<double>(leaves[i]) - mean;
+        const double b = static_cast<double>(leaves[i + 1]) - mean;
+        num += a * b;
+    }
+    for (Leaf leaf : leaves) {
+        const double a = static_cast<double>(leaf) - mean;
+        den += a * a;
+    }
+    return den > 0.0 ? num / den : 0.0;
+}
+
+} // namespace palermo

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Statistical uniformity checks on attacker-visible sequences.
+ *
+ * The qualitative security argument (paper §VI) is that the DRAM trace
+ * reduces to a stream of statistically random leaf selections. These
+ * helpers quantify that: a chi-square goodness-of-fit test against the
+ * uniform distribution, plus a serial-correlation probe for remap
+ * independence.
+ */
+
+#ifndef PALERMO_SECURITY_UNIFORMITY_HH
+#define PALERMO_SECURITY_UNIFORMITY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace palermo {
+
+/** Chi-square goodness-of-fit result. */
+struct ChiSquareResult
+{
+    double statistic;     ///< Chi-square statistic.
+    std::uint64_t dof;    ///< Degrees of freedom (bins - 1).
+    double threshold;     ///< Acceptance threshold at ~1% significance.
+    bool uniform;         ///< statistic <= threshold.
+};
+
+/**
+ * Chi-square test of observed bin counts against uniform.
+ * @param counts Observed occurrences per bin.
+ */
+ChiSquareResult chiSquareUniform(const std::vector<std::uint64_t> &counts);
+
+/**
+ * Bin a leaf sequence over `num_bins` equal ranges and test uniformity.
+ * @param leaves Observed leaf selections.
+ * @param num_leaves Leaf-space size.
+ * @param num_bins Histogram resolution (<= num_leaves).
+ */
+ChiSquareResult leafUniformity(const std::vector<Leaf> &leaves,
+                               std::uint64_t num_leaves,
+                               std::size_t num_bins = 64);
+
+/**
+ * Lag-1 serial correlation of a leaf sequence, normalized to [-1, 1];
+ * near 0 for independently drawn selections.
+ */
+double serialCorrelation(const std::vector<Leaf> &leaves);
+
+} // namespace palermo
+
+#endif // PALERMO_SECURITY_UNIFORMITY_HH

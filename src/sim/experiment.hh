@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Experiment runner: protocol/controller factory plus the one-call
+ * "run workload W under protocol P" helper every bench and integration
+ * test uses.
+ */
+
+#ifndef PALERMO_SIM_EXPERIMENT_HH
+#define PALERMO_SIM_EXPERIMENT_HH
+
+#include <memory>
+
+#include "controller/controller.hh"
+#include "sim/simulator.hh"
+#include "sim/system_config.hh"
+#include "trace/trace_gen.hh"
+
+namespace palermo {
+
+/** Build the timing controller (with its protocol) for a design point. */
+std::unique_ptr<Controller> makeController(ProtocolKind kind,
+                                           const SystemConfig &config);
+
+/** Build a ready-to-run simulator for (protocol, workload). */
+std::unique_ptr<Simulator> makeSimulator(ProtocolKind kind,
+                                         Workload workload,
+                                         const SystemConfig &config);
+
+/** Run one experiment to completion. */
+RunMetrics runExperiment(ProtocolKind kind, Workload workload,
+                         const SystemConfig &config);
+
+/** Throughput speedup of `metrics` over `baseline`. */
+double speedupOver(const RunMetrics &baseline, const RunMetrics &metrics);
+
+} // namespace palermo
+
+#endif // PALERMO_SIM_EXPERIMENT_HH

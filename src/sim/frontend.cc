@@ -1,0 +1,48 @@
+#include "sim/frontend.hh"
+
+#include "common/log.hh"
+
+namespace palermo {
+
+Frontend::Frontend(std::unique_ptr<TraceGen> trace,
+                   std::uint64_t total_requests, bool constant_rate,
+                   unsigned interval, double demand_probability,
+                   std::uint64_t seed)
+    : trace_(std::move(trace)), totalRequests_(total_requests),
+      constantRate_(constant_rate), interval_(interval),
+      demandProbability_(demand_probability),
+      rng_(mix64(seed ^ 0x46524f4eull))
+{
+    palermo_assert(trace_ != nullptr);
+    palermo_assert(!constant_rate || interval > 0);
+}
+
+bool
+Frontend::wantsIssue(Tick now) const
+{
+    if (exhausted())
+        return false;
+    if (!constantRate_)
+        return true;
+    return now >= nextSlot_;
+}
+
+FrontendRequest
+Frontend::produce(Tick now)
+{
+    palermo_assert(!exhausted());
+    if (constantRate_) {
+        nextSlot_ = now + interval_;
+        if (!rng_.chance(demandProbability_)) {
+            // LLC issued nothing this slot: pad with a dummy request to
+            // a uniformly random address (paper §VI).
+            ++dummies_;
+            return {rng_.range(trace_->numLines()), false, 0, true};
+        }
+    }
+    const TraceRecord record = trace_->next();
+    ++issued_;
+    return {record.line, record.write, rng_.next(), false};
+}
+
+} // namespace palermo

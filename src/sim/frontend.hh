@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Frontend: the LLC-miss source feeding the ORAM controller.
+ *
+ * Substitutes the paper's Sniper-driven host CPU (DESIGN.md §1 item 15).
+ * Two issue modes: saturated closed-loop (performance runs; after ORAM
+ * conversion the system is fully DRAM-bound so throughput equals
+ * end-to-end speedup) and constant-rate with dummy padding (the issue
+ * discipline the paper's §VI security analysis assumes).
+ */
+
+#ifndef PALERMO_SIM_FRONTEND_HH
+#define PALERMO_SIM_FRONTEND_HH
+
+#include <memory>
+
+#include "common/types.hh"
+#include "trace/trace_gen.hh"
+
+namespace palermo {
+
+/** An admitted frontend request. */
+struct FrontendRequest
+{
+    BlockId pa;
+    bool write;
+    std::uint64_t value;
+    bool dummy;
+};
+
+/** LLC-miss issue policy. */
+class Frontend
+{
+  public:
+    /**
+     * @param trace Miss stream (owned).
+     * @param total_requests Real misses to issue in this run.
+     * @param constant_rate Fixed-interval issue with dummy padding.
+     * @param interval Cycles between issue slots in constant-rate mode.
+     * @param demand_probability In constant-rate mode, probability an
+     *        issue slot carries a real miss (otherwise a dummy pads it).
+     * @param seed Determinism seed for values and padding.
+     */
+    Frontend(std::unique_ptr<TraceGen> trace,
+             std::uint64_t total_requests, bool constant_rate,
+             unsigned interval, double demand_probability,
+             std::uint64_t seed);
+
+    /** True if a request should be offered to the controller now. */
+    bool wantsIssue(Tick now) const;
+
+    /** All real misses issued? */
+    bool exhausted() const { return issued_ >= totalRequests_; }
+
+    /** Produce the request for this issue slot. */
+    FrontendRequest produce(Tick now);
+
+    std::uint64_t issuedReal() const { return issued_; }
+    std::uint64_t issuedDummy() const { return dummies_; }
+
+  private:
+    std::unique_ptr<TraceGen> trace_;
+    std::uint64_t totalRequests_;
+    bool constantRate_;
+    unsigned interval_;
+    double demandProbability_;
+    Rng rng_;
+    std::uint64_t issued_ = 0;
+    std::uint64_t dummies_ = 0;
+    Tick nextSlot_ = 0;
+};
+
+} // namespace palermo
+
+#endif // PALERMO_SIM_FRONTEND_HH

@@ -1,0 +1,140 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace palermo {
+
+Simulator::Simulator(const SystemConfig &config,
+                     std::unique_ptr<Controller> controller,
+                     std::unique_ptr<Frontend> frontend)
+    : config_(config), dram_(std::make_unique<DramSystem>(config.dram)),
+      controller_(std::move(controller)), frontend_(std::move(frontend))
+{
+    palermo_assert(controller_ != nullptr && frontend_ != nullptr);
+}
+
+RunMetrics
+Simulator::run()
+{
+    RunMetrics metrics;
+    const std::uint64_t total = config_.totalRequests;
+    const std::uint64_t warmup_served = static_cast<std::uint64_t>(
+        total * config_.warmupFraction);
+    const std::uint64_t window =
+        std::max<std::uint64_t>(1, total / 100); // Fig. 12 sampling.
+
+    bool measuring = warmup_served == 0;
+    std::uint64_t warmup_cycles = 0;
+    std::uint64_t next_sample = window;
+    TimeWeighted outstanding;
+
+    // Generous runaway guard: no experiment in this repo needs more.
+    const Tick tick_limit = 2'000'000'000ull;
+
+    while (controller_->stats().served < total) {
+        const Tick now = dram_->now();
+        palermo_assert(now < tick_limit, "simulation runaway");
+
+        // Deliver finished reads.
+        for (const Completion &completion : dram_->drainCompletions())
+            controller_->onCompletion(completion.tag);
+
+        // Admit new misses.
+        while (frontend_->wantsIssue(now) && controller_->canAccept()) {
+            const FrontendRequest request = frontend_->produce(now);
+            controller_->push(request.pa, request.write, request.value,
+                              request.dummy);
+            if (config_.constantRate)
+                break; // One slot per interval.
+        }
+
+        controller_->tick(*dram_);
+        dram_->tick();
+        outstanding.accumulate(
+            static_cast<double>(dram_->occupancy()), 1);
+
+        ControllerStats &cs = controller_->stats();
+        if (!measuring && cs.served >= warmup_served) {
+            measuring = true;
+            warmup_cycles = dram_->now();
+            dram_->resetStats();
+            outstanding.reset();
+            cs.dramCycles = {};
+            cs.syncCycles = {};
+            cs.latency.reset();
+            cs.samples.clear();
+        }
+
+        if (cs.served >= next_sample) {
+            next_sample += window;
+            const Stash &stash = controller_->stashOf(kLevelData);
+            metrics.stashSamples.push_back(stash.windowWatermark());
+            const_cast<Stash &>(stash).resetWindowWatermark();
+        }
+    }
+
+    // Drain the tail so trailing writes/evictions settle into stats.
+    for (unsigned i = 0; i < 4 * config_.dram.timing.tRC
+                             && !controller_->idle(); ++i) {
+        for (const Completion &completion : dram_->drainCompletions())
+            controller_->onCompletion(completion.tag);
+        controller_->tick(*dram_);
+        dram_->tick();
+        outstanding.accumulate(
+            static_cast<double>(dram_->occupancy()), 1);
+    }
+
+    const ControllerStats &cs = controller_->stats();
+    const DramSnapshot snap = dram_->snapshot();
+    const std::uint64_t end_cycles = dram_->now();
+
+    metrics.measuredRequests = cs.served
+        - std::min<std::uint64_t>(cs.served, warmup_served);
+    metrics.measuredCycles =
+        end_cycles > warmup_cycles ? end_cycles - warmup_cycles : 1;
+    metrics.requestsPerKilocycle = 1000.0
+        * static_cast<double>(metrics.measuredRequests)
+        / metrics.measuredCycles;
+    metrics.missesPerSecond = metrics.requestsPerKilocycle / 1000.0
+        * config_.dram.timing.clockGHz * 1e9;
+
+    metrics.bwUtilization = snap.busUtilization();
+    metrics.avgOutstanding = outstanding.mean();
+    metrics.rowHitRate = snap.rowHitRate();
+    metrics.rowConflictRate = snap.rowConflictRate();
+    metrics.avgReadLatency = snap.avgReadLatency;
+    metrics.dramReads = snap.reads;
+    metrics.dramWrites = snap.writes;
+    if (metrics.measuredRequests > 0) {
+        metrics.readsPerRequest = static_cast<double>(snap.reads)
+            / metrics.measuredRequests;
+        metrics.writesPerRequest = static_cast<double>(snap.writes)
+            / metrics.measuredRequests;
+    }
+
+    metrics.syncFraction = cs.syncFraction();
+    for (unsigned level = 0; level < kHierLevels; ++level) {
+        metrics.levelDramShare[level] = cs.levelShare(level, true);
+        metrics.levelSyncShare[level] = cs.levelShare(level, false);
+    }
+    metrics.latency = cs.latency;
+    metrics.samples = cs.samples;
+
+    const Stash &stash = controller_->stashOf(kLevelData);
+    metrics.stashMax = stash.highWatermark();
+    metrics.stashCapacity = stash.capacity();
+    metrics.stashOverflowed = stash.overflowed();
+
+    metrics.served = cs.served;
+    metrics.dummies = cs.dummies;
+    metrics.llcHits = cs.llcHits;
+    const std::uint64_t oram_requests = cs.served - cs.llcHits
+        + cs.dummies;
+    metrics.dummyRatio = oram_requests
+        ? static_cast<double>(cs.dummies) / oram_requests : 0.0;
+    return metrics;
+}
+
+} // namespace palermo

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Simulator: wires frontend -> ORAM controller -> DDR4 model, runs the
+ * tick loop with a warmup boundary, and condenses every metric the
+ * paper's figures report.
+ */
+
+#ifndef PALERMO_SIM_SIMULATOR_HH
+#define PALERMO_SIM_SIMULATOR_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "controller/controller.hh"
+#include "mem/dram_system.hh"
+#include "sim/frontend.hh"
+#include "sim/system_config.hh"
+
+namespace palermo {
+
+/** Everything a figure needs from one run. */
+struct RunMetrics
+{
+    // Throughput.
+    std::uint64_t measuredRequests = 0;
+    std::uint64_t measuredCycles = 0;
+    double requestsPerKilocycle = 0.0;
+    double missesPerSecond = 0.0;
+
+    // DRAM behavior.
+    double bwUtilization = 0.0;
+    double avgOutstanding = 0.0;
+    double rowHitRate = 0.0;
+    double rowConflictRate = 0.0;
+    double avgReadLatency = 0.0;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    double readsPerRequest = 0.0;
+    double writesPerRequest = 0.0;
+
+    // Controller behavior.
+    double syncFraction = 0.0;
+    std::array<double, kHierLevels> levelDramShare{};
+    std::array<double, kHierLevels> levelSyncShare{};
+    Histogram latency{100.0, 200};
+    std::vector<LatencySample> samples;
+
+    // Stash behavior (data level).
+    std::vector<std::size_t> stashSamples; ///< Watermark per 1% window.
+    std::size_t stashMax = 0;
+    std::size_t stashCapacity = 0;
+    bool stashOverflowed = false;
+
+    // Request accounting.
+    std::uint64_t served = 0;
+    std::uint64_t dummies = 0;
+    std::uint64_t llcHits = 0;
+    double dummyRatio = 0.0;
+};
+
+/** One experiment instance. */
+class Simulator
+{
+  public:
+    /**
+     * @param config System parameters.
+     * @param controller The timing controller under test (owned).
+     * @param frontend The LLC-miss source (owned).
+     */
+    Simulator(const SystemConfig &config,
+              std::unique_ptr<Controller> controller,
+              std::unique_ptr<Frontend> frontend);
+
+    /** Run to completion and collect metrics. */
+    RunMetrics run();
+
+    DramSystem &dram() { return *dram_; }
+    Controller &controller() { return *controller_; }
+
+  private:
+    SystemConfig config_;
+    std::unique_ptr<DramSystem> dram_;
+    std::unique_ptr<Controller> controller_;
+    std::unique_ptr<Frontend> frontend_;
+};
+
+} // namespace palermo
+
+#endif // PALERMO_SIM_SIMULATOR_HH

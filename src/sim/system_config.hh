@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Full-system configuration (paper Table III) plus the scaled bench
+ * geometry every experiment binary uses by default.
+ */
+
+#ifndef PALERMO_SIM_SYSTEM_CONFIG_HH
+#define PALERMO_SIM_SYSTEM_CONFIG_HH
+
+#include <string>
+
+#include "controller/palermo_controller.hh"
+#include "mem/dram_system.hh"
+#include "oram/hierarchy.hh"
+
+namespace palermo {
+
+/** Which end-to-end design to instantiate (Fig. 10 bars). */
+enum class ProtocolKind
+{
+    PathOram,
+    RingOram,
+    PageOram,
+    PrOram,          ///< With Fat-Tree + throttle (paper Fig. 10 setup).
+    IrOram,
+    PalermoSw,
+    Palermo,
+    PalermoPrefetch, ///< Palermo with PrORAM's chosen prefetch length.
+};
+
+const char *protocolKindName(ProtocolKind kind);
+
+/** Complete experiment configuration. */
+struct SystemConfig
+{
+    ProtocolConfig protocol;
+    DramConfig dram;
+    PalermoControllerConfig palermo;
+    unsigned serialIssueWidth = 16;
+    unsigned decryptLatency = 40;
+
+    /** Trace-driven run shape. */
+    std::uint64_t totalRequests = 2000;
+    double warmupFraction = 0.5;
+    bool constantRate = false;   ///< Security-mode fixed issue interval.
+    unsigned issueInterval = 400; ///< Cycles between issues when fixed.
+    std::uint64_t seed = 1;
+
+    /**
+     * Scaled default: 2^18-line (16 MB) protected space, proportionally
+     * sized tree-top caches; every figure regenerates in seconds.
+     * Honors env overrides PALERMO_REQS / PALERMO_BLOCKS / PALERMO_SEED.
+     */
+    static SystemConfig benchDefault();
+
+    /** The paper's full Table III geometry (16 GB protected space). */
+    static SystemConfig paperTableIII();
+
+    /** Apply PALERMO_* environment overrides. */
+    void applyEnvOverrides();
+
+    /** Table III-style description for bench headers. */
+    std::string describe() const;
+};
+
+} // namespace palermo
+
+#endif // PALERMO_SIM_SYSTEM_CONFIG_HH

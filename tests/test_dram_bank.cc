@@ -1,0 +1,115 @@
+/** @file Unit tests for the per-bank DRAM state machine. */
+
+#include <gtest/gtest.h>
+
+#include "mem/bank.hh"
+
+namespace palermo {
+namespace {
+
+const DramTiming &t = ddr4_3200();
+
+TEST(Bank, StartsClosedAndActivatable)
+{
+    Bank bank;
+    EXPECT_FALSE(bank.isOpen());
+    EXPECT_TRUE(bank.canActivate(0));
+    EXPECT_FALSE(bank.canPrecharge(0));
+    EXPECT_FALSE(bank.canColumn(0, false));
+}
+
+TEST(Bank, ActivateOpensRow)
+{
+    Bank bank;
+    bank.activate(0, 77, t);
+    EXPECT_TRUE(bank.isOpen());
+    EXPECT_EQ(bank.openRow(), 77u);
+    EXPECT_FALSE(bank.canActivate(0)); // Already open.
+}
+
+TEST(Bank, ColumnWaitsForTrcd)
+{
+    Bank bank;
+    bank.activate(0, 1, t);
+    EXPECT_FALSE(bank.canColumn(t.tRCD - 1, false));
+    EXPECT_TRUE(bank.canColumn(t.tRCD, false));
+    EXPECT_TRUE(bank.canColumn(t.tRCD, true));
+}
+
+TEST(Bank, PrechargeWaitsForTras)
+{
+    Bank bank;
+    bank.activate(0, 1, t);
+    EXPECT_FALSE(bank.canPrecharge(t.tRAS - 1));
+    EXPECT_TRUE(bank.canPrecharge(t.tRAS));
+}
+
+TEST(Bank, ReactivateWaitsForTrp)
+{
+    Bank bank;
+    bank.activate(0, 1, t);
+    bank.precharge(t.tRAS, t);
+    EXPECT_FALSE(bank.isOpen());
+    EXPECT_FALSE(bank.canActivate(t.tRAS + t.tRP - 1));
+    EXPECT_TRUE(bank.canActivate(t.tRAS + t.tRP));
+}
+
+TEST(Bank, ActToActRespectsTrc)
+{
+    Bank bank;
+    bank.activate(0, 1, t);
+    // Precharge as early as allowed, then the next ACT still waits tRC.
+    bank.precharge(t.tRAS, t);
+    EXPECT_GE(t.tRC, t.tRAS + t.tRP);
+    EXPECT_TRUE(bank.canActivate(t.tRC));
+}
+
+TEST(Bank, ReadPushesPrechargeByTrtp)
+{
+    Bank bank;
+    bank.activate(0, 1, t);
+    const Tick cas = t.tRCD + 30; // Late read.
+    bank.column(cas, false, t);
+    EXPECT_FALSE(bank.canPrecharge(cas + t.tRTP - 1));
+    EXPECT_TRUE(bank.canPrecharge(cas + t.tRTP));
+}
+
+TEST(Bank, WritePushesPrechargeByWriteRecovery)
+{
+    Bank bank;
+    bank.activate(0, 1, t);
+    const Tick cas = t.tRAS; // Past tRAS so only tWR gates.
+    bank.column(cas, true, t);
+    const Tick earliest = cas + t.tCWL + t.tBL + t.tWR;
+    EXPECT_FALSE(bank.canPrecharge(earliest - 1));
+    EXPECT_TRUE(bank.canPrecharge(earliest));
+}
+
+TEST(Bank, RefreshClosesAndBlocks)
+{
+    Bank bank;
+    bank.activate(0, 5, t);
+    bank.precharge(t.tRAS, t);
+    const Tick ref = t.tRAS + t.tRP;
+    bank.refresh(ref, t);
+    EXPECT_FALSE(bank.isOpen());
+    EXPECT_FALSE(bank.canActivate(ref + t.tRFC - 1));
+    EXPECT_TRUE(bank.canActivate(ref + t.tRFC));
+}
+
+TEST(DramTiming, PresetSanity)
+{
+    EXPECT_EQ(t.tBL, 4u);
+    EXPECT_GT(t.tRC, t.tRAS);
+    EXPECT_GT(t.tRAS, t.tRCD);
+    EXPECT_DOUBLE_EQ(t.bytesPerCycle(), 16.0);
+    // 4 channels x 16 B/cycle x 1.6 GHz = 102.4 GB/s (Table III).
+    EXPECT_DOUBLE_EQ(t.bytesPerCycle() * 4 * t.clockGHz, 102.4);
+
+    const DramTiming &slow = ddr4_2400();
+    EXPECT_LT(slow.tCL, t.tCL);
+    EXPECT_LT(slow.clockGHz, t.clockGHz);
+}
+
+} // namespace
+} // namespace palermo

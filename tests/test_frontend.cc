@@ -1,0 +1,75 @@
+/** @file Unit tests for the frontend issue policies. */
+
+#include <gtest/gtest.h>
+
+#include "sim/frontend.hh"
+
+namespace palermo {
+namespace {
+
+TEST(Frontend, SaturatedIssuesEverything)
+{
+    Frontend frontend(makeTrace(Workload::Stream, 1 << 10, 1), 100,
+                      false, 0, 1.0, 1);
+    Tick now = 0;
+    while (!frontend.exhausted()) {
+        ASSERT_TRUE(frontend.wantsIssue(now));
+        const FrontendRequest req = frontend.produce(now);
+        EXPECT_FALSE(req.dummy);
+        ++now;
+    }
+    EXPECT_EQ(frontend.issuedReal(), 100u);
+    EXPECT_FALSE(frontend.wantsIssue(now));
+}
+
+TEST(Frontend, SaturatedAlwaysWilling)
+{
+    Frontend frontend(makeTrace(Workload::Random, 1 << 10, 1), 10,
+                      false, 0, 1.0, 1);
+    EXPECT_TRUE(frontend.wantsIssue(0));
+    EXPECT_TRUE(frontend.wantsIssue(12345));
+}
+
+TEST(Frontend, ConstantRateSpacesSlots)
+{
+    Frontend frontend(makeTrace(Workload::Stream, 1 << 10, 1), 50, true,
+                      100, 1.0, 1);
+    ASSERT_TRUE(frontend.wantsIssue(0));
+    frontend.produce(0);
+    EXPECT_FALSE(frontend.wantsIssue(50));
+    EXPECT_TRUE(frontend.wantsIssue(100));
+    frontend.produce(100);
+    EXPECT_FALSE(frontend.wantsIssue(150));
+}
+
+TEST(Frontend, ConstantRatePadsDummies)
+{
+    Frontend frontend(makeTrace(Workload::Stream, 1 << 10, 2), 10000,
+                      true, 10, 0.5, 3);
+    Tick now = 0;
+    unsigned slots = 0;
+    while (slots < 2000) {
+        if (frontend.wantsIssue(now)) {
+            frontend.produce(now);
+            ++slots;
+        }
+        ++now;
+    }
+    const double dummy_frac = static_cast<double>(frontend.issuedDummy())
+        / (frontend.issuedDummy() + frontend.issuedReal());
+    EXPECT_NEAR(dummy_frac, 0.5, 0.06);
+}
+
+TEST(Frontend, TraceRecordsPassThrough)
+{
+    Frontend frontend(makeTrace(Workload::Stream, 1 << 10, 1), 16,
+                      false, 0, 1.0, 1);
+    for (std::uint64_t i = 0; i < 16; ++i) {
+        const FrontendRequest req = frontend.produce(0);
+        EXPECT_EQ(req.pa, i);
+    }
+    EXPECT_TRUE(frontend.exhausted());
+}
+
+} // namespace
+} // namespace palermo

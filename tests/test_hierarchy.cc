@@ -1,0 +1,149 @@
+/** @file Unit tests for hierarchy plumbing: config, filter, prefill. */
+
+#include <gtest/gtest.h>
+
+#include "oram/hierarchy.hh"
+#include "oram/ring_oram.hh"
+
+namespace palermo {
+namespace {
+
+TEST(ProtocolConfig, LevelBlocksShrinkByFanout)
+{
+    ProtocolConfig config;
+    config.numBlocks = 1 << 16;
+    config.posFanout = 16;
+    const auto blocks = config.levelBlocks();
+    EXPECT_EQ(blocks[kLevelData], 1u << 16);
+    EXPECT_EQ(blocks[kLevelPos1], 1u << 12);
+    EXPECT_EQ(blocks[kLevelPos2], 1u << 8);
+}
+
+TEST(ProtocolConfig, LevelBlocksRoundUp)
+{
+    ProtocolConfig config;
+    config.numBlocks = 17;
+    config.posFanout = 16;
+    const auto blocks = config.levelBlocks();
+    EXPECT_EQ(blocks[kLevelPos1], 2u);
+    EXPECT_EQ(blocks[kLevelPos2], 1u);
+}
+
+TEST(ProtocolConfig, DecomposeConsistent)
+{
+    ProtocolConfig config;
+    config.numBlocks = 1 << 12;
+    const auto ids = config.decompose(0xABC);
+    EXPECT_EQ(ids[kLevelData], 0xABCu);
+    EXPECT_EQ(ids[kLevelPos1], 0xABCu / 16);
+    EXPECT_EQ(ids[kLevelPos2], 0xABCu / 256);
+    const auto blocks = config.levelBlocks();
+    for (unsigned level = 0; level < kHierLevels; ++level)
+        EXPECT_LT(ids[level], blocks[level]);
+}
+
+TEST(PrefetchFilter, HitAfterInsert)
+{
+    PrefetchFilter filter(4);
+    EXPECT_FALSE(filter.hit(1));
+    filter.insert(1);
+    EXPECT_TRUE(filter.hit(1));
+}
+
+TEST(PrefetchFilter, LruEviction)
+{
+    PrefetchFilter filter(2);
+    filter.insert(1);
+    filter.insert(2);
+    filter.insert(3); // Evicts 1.
+    EXPECT_FALSE(filter.hit(1));
+    EXPECT_TRUE(filter.hit(2));
+    EXPECT_TRUE(filter.hit(3));
+}
+
+TEST(PrefetchFilter, HitRefreshesRecency)
+{
+    PrefetchFilter filter(2);
+    filter.insert(1);
+    filter.insert(2);
+    EXPECT_TRUE(filter.hit(1)); // 1 becomes most recent.
+    filter.insert(3);           // Evicts 2.
+    EXPECT_TRUE(filter.hit(1));
+    EXPECT_FALSE(filter.hit(2));
+}
+
+TEST(PrefetchFilter, ReinsertIsIdempotent)
+{
+    PrefetchFilter filter(2);
+    filter.insert(1);
+    filter.insert(1);
+    filter.insert(2);
+    EXPECT_TRUE(filter.hit(1));
+    EXPECT_EQ(filter.size(), 2u);
+}
+
+TEST(Prefill, FirstAccessFindsPlantedBlocks)
+{
+    ProtocolConfig config;
+    config.numBlocks = 1 << 10;
+    config.ringZ = 4;
+    config.ringS = 5;
+    config.ringA = 3;
+    config.prefill = true;
+    RingOram oram(config);
+    // Prefilled: no access conjures a fresh block.
+    for (BlockId pa = 0; pa < 64; ++pa) {
+        const auto plans = oram.access(pa * 7 % (1 << 10), false, 0);
+        for (const auto &level : plans[0].levels)
+            EXPECT_FALSE(level.freshBlock) << "pa " << pa;
+    }
+}
+
+TEST(Prefill, DisabledStartsEmpty)
+{
+    ProtocolConfig config;
+    config.numBlocks = 1 << 10;
+    config.ringZ = 4;
+    config.ringS = 5;
+    config.ringA = 3;
+    config.prefill = false;
+    RingOram oram(config);
+    const auto plans = oram.access(5, false, 0);
+    EXPECT_TRUE(plans[0].levels.back().freshBlock);
+}
+
+TEST(Prefill, PlantedBlocksSatisfyInvariant)
+{
+    ProtocolConfig config;
+    config.numBlocks = 1 << 10;
+    config.ringZ = 4;
+    config.ringS = 5;
+    config.ringA = 3;
+    RingOram oram(config);
+    for (BlockId pa = 0; pa < (1 << 10); pa += 13)
+        EXPECT_TRUE(oram.checkBlockInvariant(pa)) << pa;
+}
+
+TEST(Prefill, SkipsHugeSpaces)
+{
+    // Above kPrefillLimit construction must stay cheap (lazy).
+    ProtocolConfig config;
+    config.numBlocks = 1ull << 26;
+    RingOram oram(config);
+    EXPECT_TRUE(oram.access(123, false, 0)[0].levels.back().freshBlock);
+}
+
+TEST(CachedLevelsFor, MonotoneInBudget)
+{
+    const OramParams params = OramParams::ring(1 << 14, 16, 27, 20);
+    unsigned previous = 0;
+    for (std::uint64_t budget = 0; budget < (1 << 20);
+         budget = budget * 2 + 1024) {
+        const unsigned levels = cachedLevelsFor(params, budget);
+        EXPECT_GE(levels, previous);
+        previous = levels;
+    }
+}
+
+} // namespace
+} // namespace palermo

@@ -1,0 +1,148 @@
+/**
+ * @file End-to-end integration tests: every design point runs a small
+ * workload to completion through the full frontend -> controller -> DDR4
+ * stack, and the paper's headline orderings hold in miniature.
+ */
+
+#include <gtest/gtest.h>
+
+#include "security/mutual_info.hh"
+#include "sim/experiment.hh"
+
+namespace palermo {
+namespace {
+
+SystemConfig
+tinySystem(std::uint64_t requests = 240)
+{
+    SystemConfig config;
+    config.protocol.numBlocks = 1 << 12;
+    config.protocol.ringZ = 16;
+    config.protocol.ringS = 27;
+    config.protocol.ringA = 20;
+    config.protocol.treetopBytes = {8192, 4096, 2048};
+    config.totalRequests = requests;
+    config.dram.org.rows = 1u << 10;
+    return config;
+}
+
+const ProtocolKind kAllKinds[] = {
+    ProtocolKind::PathOram,   ProtocolKind::RingOram,
+    ProtocolKind::PageOram,   ProtocolKind::PrOram,
+    ProtocolKind::IrOram,     ProtocolKind::PalermoSw,
+    ProtocolKind::Palermo,    ProtocolKind::PalermoPrefetch,
+};
+
+TEST(Integration, EveryProtocolCompletesRandomWorkload)
+{
+    for (ProtocolKind kind : kAllKinds) {
+        SystemConfig config = tinySystem(160);
+        if (kind == ProtocolKind::PrOram
+            || kind == ProtocolKind::PalermoPrefetch) {
+            config.protocol.prefetchLen = 4;
+        }
+        const RunMetrics metrics =
+            runExperiment(kind, Workload::Random, config);
+        EXPECT_EQ(metrics.served, config.totalRequests)
+            << protocolKindName(kind);
+        EXPECT_GT(metrics.requestsPerKilocycle, 0.0)
+            << protocolKindName(kind);
+    }
+}
+
+TEST(Integration, PalermoBeatsRingOramOnRandom)
+{
+    const SystemConfig config = tinySystem(320);
+    const RunMetrics ring =
+        runExperiment(ProtocolKind::RingOram, Workload::Random, config);
+    const RunMetrics palermo =
+        runExperiment(ProtocolKind::Palermo, Workload::Random, config);
+    EXPECT_GT(speedupOver(ring, palermo), 1.3);
+}
+
+TEST(Integration, PalermoRaisesBandwidthUtilization)
+{
+    const SystemConfig config = tinySystem(320);
+    const RunMetrics ring =
+        runExperiment(ProtocolKind::RingOram, Workload::Llm, config);
+    const RunMetrics palermo =
+        runExperiment(ProtocolKind::Palermo, Workload::Llm, config);
+    EXPECT_GT(palermo.bwUtilization, ring.bwUtilization);
+    EXPECT_GT(palermo.avgOutstanding, ring.avgOutstanding);
+}
+
+TEST(Integration, RingOramBandwidthBelow30Percent)
+{
+    // Fig. 3a: the serial RingORAM baseline underutilizes DRAM.
+    const SystemConfig config = tinySystem(320);
+    const RunMetrics ring =
+        runExperiment(ProtocolKind::RingOram, Workload::Random, config);
+    EXPECT_LT(ring.bwUtilization, 0.4);
+}
+
+TEST(Integration, StashStaysBoundedEverywhere)
+{
+    for (ProtocolKind kind :
+         {ProtocolKind::RingOram, ProtocolKind::Palermo,
+          ProtocolKind::PathOram}) {
+        const RunMetrics metrics =
+            runExperiment(kind, Workload::Redis, tinySystem(300));
+        EXPECT_FALSE(metrics.stashOverflowed) << protocolKindName(kind);
+        EXPECT_LE(metrics.stashMax, metrics.stashCapacity);
+    }
+}
+
+TEST(Integration, PalermoLatencyLeaksNothing)
+{
+    // Fig. 9's table: mutual information ~ 0.
+    SystemConfig config = tinySystem(500);
+    const RunMetrics metrics =
+        runExperiment(ProtocolKind::Palermo, Workload::Redis, config);
+    ASSERT_GT(metrics.samples.size(), 100u);
+    EXPECT_LT(mutualInformationOf(metrics.samples), 0.05);
+}
+
+TEST(Integration, PrefetchHelpsSequentialWorkloads)
+{
+    SystemConfig base = tinySystem(400);
+    SystemConfig prefetch = base;
+    prefetch.protocol.prefetchLen = 8;
+    const RunMetrics plain =
+        runExperiment(ProtocolKind::Palermo, Workload::Stream, base);
+    const RunMetrics with_pf = runExperiment(
+        ProtocolKind::PalermoPrefetch, Workload::Stream, prefetch);
+    EXPECT_GT(speedupOver(plain, with_pf), 1.5);
+    EXPECT_GT(with_pf.llcHits, 0u);
+}
+
+TEST(Integration, ConstantRateModeRuns)
+{
+    SystemConfig config = tinySystem(100);
+    config.constantRate = true;
+    config.issueInterval = 600;
+    const RunMetrics metrics =
+        runExperiment(ProtocolKind::Palermo, Workload::Mcf, config);
+    EXPECT_EQ(metrics.served, 100u);
+    EXPECT_GT(metrics.dummies, 0u); // Padding fired.
+}
+
+TEST(Integration, DeterministicAcrossRuns)
+{
+    const SystemConfig config = tinySystem(150);
+    const RunMetrics a =
+        runExperiment(ProtocolKind::RingOram, Workload::Mcf, config);
+    const RunMetrics b =
+        runExperiment(ProtocolKind::RingOram, Workload::Mcf, config);
+    EXPECT_EQ(a.measuredCycles, b.measuredCycles);
+    EXPECT_EQ(a.dramReads, b.dramReads);
+}
+
+TEST(Integration, SerialBaselineMostlySyncStalled)
+{
+    const RunMetrics ring = runExperiment(ProtocolKind::RingOram,
+                                          Workload::Llm, tinySystem(320));
+    EXPECT_GT(ring.syncFraction, 0.45);
+}
+
+} // namespace
+} // namespace palermo

@@ -1,0 +1,103 @@
+/** @file Unit tests for the tree-to-DRAM address layout. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "oram/layout.hh"
+
+namespace palermo {
+namespace {
+
+TEST(TreeLayout, SlotAddressesDistinctAndInFootprint)
+{
+    const OramParams p = OramParams::ring(1 << 8, 4, 5, 3);
+    const TreeLayout layout(0x10000, p);
+    std::set<Addr> seen;
+    for (NodeId node = 0; node < p.numNodes; ++node) {
+        for (unsigned slot = 0; slot < p.slotsAt(p.levelOf(node));
+             ++slot) {
+            const Addr addr = layout.slotAddr(node, slot);
+            EXPECT_TRUE(seen.insert(addr).second);
+            EXPECT_GE(addr, layout.base());
+            EXPECT_LT(addr, layout.endAddr());
+            EXPECT_EQ(addr % kBlockBytes, 0u);
+        }
+    }
+}
+
+TEST(TreeLayout, MetaRegionDisjointFromData)
+{
+    const OramParams p = OramParams::ring(1 << 8, 4, 5, 3);
+    const TreeLayout layout(0, p);
+    Addr max_data = 0;
+    for (NodeId node = 0; node < p.numNodes; ++node) {
+        const unsigned slots = p.slotsAt(p.levelOf(node));
+        max_data = std::max(max_data,
+                            layout.slotAddr(node, slots - 1));
+    }
+    for (NodeId node = 0; node < p.numNodes; ++node) {
+        EXPECT_GT(layout.metaAddr(node), max_data);
+        EXPECT_LT(layout.metaAddr(node), layout.endAddr());
+    }
+}
+
+TEST(TreeLayout, SiblingsAdjacent)
+{
+    // Heap layout: the two children of a node occupy consecutive bucket
+    // slots — PageORAM's row-locality assumption.
+    const OramParams p = OramParams::path(1 << 8, 4);
+    const TreeLayout layout(0, p);
+    const unsigned slots = p.slotsAt(1);
+    EXPECT_EQ(layout.slotAddr(2, 0) - layout.slotAddr(1, 0),
+              static_cast<Addr>(slots) * p.blockBytes);
+}
+
+TEST(TreeLayout, PerLevelCapacitiesHonored)
+{
+    OramParams p = OramParams::ring(1 << 8, 4, 5, 3);
+    applyFatTree(p);
+    const TreeLayout layout(0, p);
+    // Root has 2Z+S slots; the last root slot must not collide with the
+    // first slot of node 1.
+    const Addr root_last =
+        layout.slotAddr(0, p.slotsAt(0) - 1);
+    EXPECT_EQ(layout.slotAddr(1, 0) - root_last,
+              static_cast<Addr>(p.blockBytes));
+}
+
+TEST(TreeLayout, WideBlockOps)
+{
+    const OramParams p = OramParams::ring(1 << 8, 4, 5, 3, 256);
+    const TreeLayout layout(0, p);
+    std::vector<MemOp> ops;
+    layout.appendSlotOps(ops, 0, 0, false);
+    ASSERT_EQ(ops.size(), 4u);
+    for (unsigned i = 0; i < 4; ++i) {
+        EXPECT_EQ(ops[i].addr, layout.slotAddr(0, 0) + i * kBlockBytes);
+        EXPECT_FALSE(ops[i].write);
+    }
+}
+
+TEST(TreeLayout, FootprintCoversDataAndMeta)
+{
+    const OramParams p = OramParams::ring(1 << 8, 4, 5, 3);
+    const TreeLayout layout(0, p);
+    std::uint64_t slots = 0;
+    for (unsigned level = 0; level < p.levels; ++level)
+        slots += (std::uint64_t{1} << level) * p.slotsAt(level);
+    EXPECT_EQ(layout.footprintBytes(),
+              slots * p.blockBytes + p.numNodes * kBlockBytes);
+}
+
+TEST(TreeLayout, TreesCanBeStacked)
+{
+    const OramParams p = OramParams::ring(1 << 8, 4, 5, 3);
+    const TreeLayout first(0, p);
+    const TreeLayout second(first.endAddr(), p);
+    EXPECT_EQ(second.base(), first.endAddr());
+    EXPECT_GT(second.slotAddr(0, 0), first.metaAddr(p.numNodes - 1));
+}
+
+} // namespace
+} // namespace palermo

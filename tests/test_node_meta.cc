@@ -1,0 +1,130 @@
+/** @file Unit tests for bucket (NodeMeta) functional state. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "oram/node_meta.hh"
+
+namespace palermo {
+namespace {
+
+TEST(NodeMeta, FreshBucketAllDummies)
+{
+    NodeMeta meta(4, 9);
+    EXPECT_EQ(meta.validRealCount(), 0u);
+    EXPECT_EQ(meta.accessed(), 0u);
+    EXPECT_EQ(meta.slotOf(7), -1);
+    EXPECT_FALSE(meta.needsReset());
+}
+
+TEST(NodeMeta, ResetWithPlacesBlocks)
+{
+    NodeMeta meta(4, 9);
+    meta.resetWith({{10, 100, 0}, {11, 101, 1}});
+    EXPECT_EQ(meta.validRealCount(), 2u);
+    EXPECT_GE(meta.slotOf(10), 0);
+    EXPECT_GE(meta.slotOf(11), 0);
+    EXPECT_EQ(meta.slotOf(12), -1);
+}
+
+TEST(NodeMeta, TakeRealRemovesAndCounts)
+{
+    NodeMeta meta(4, 9);
+    meta.resetWith({{10, 100, 3}});
+    const int slot = meta.slotOf(10);
+    ASSERT_GE(slot, 0);
+    const BlockContent content = meta.takeReal(slot);
+    EXPECT_EQ(content.block, 10u);
+    EXPECT_EQ(content.payload, 100u);
+    EXPECT_EQ(content.leaf, 3u);
+    EXPECT_EQ(meta.slotOf(10), -1);
+    EXPECT_EQ(meta.accessed(), 1u);
+    EXPECT_EQ(meta.validRealCount(), 0u);
+}
+
+TEST(NodeMeta, TouchDummyConsumesSlots)
+{
+    // An empty bucket's slots are all dummies (7 here); each touch
+    // consumes one permanently until a reset.
+    NodeMeta meta(2, 7);
+    Rng rng(1);
+    for (int i = 0; i < 7; ++i)
+        EXPECT_GE(meta.touchDummy(rng), 0);
+    EXPECT_EQ(meta.accessed(), 7u);
+    EXPECT_EQ(meta.touchDummy(rng), -1);
+    EXPECT_TRUE(meta.needsReset());
+}
+
+TEST(NodeMeta, FullBucketHasExactlySDummies)
+{
+    // With Z real blocks resident, exactly S = slots - Z dummies remain.
+    NodeMeta meta(2, 7);
+    meta.resetWith({{1, 0, 0}, {2, 0, 0}});
+    Rng rng(1);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_GE(meta.touchDummy(rng), 0);
+    EXPECT_EQ(meta.touchDummy(rng), -1);
+    // The real blocks are untouched.
+    EXPECT_GE(meta.slotOf(1), 0);
+    EXPECT_GE(meta.slotOf(2), 0);
+}
+
+TEST(NodeMeta, TouchDummySkipsRealBlocks)
+{
+    NodeMeta meta(2, 3); // 2 real-capable + 1 extra slot.
+    meta.resetWith({{5, 0, 0}, {6, 0, 0}});
+    Rng rng(2);
+    // Only one dummy slot exists; it must be chosen, not a real block.
+    const int slot = meta.touchDummy(rng);
+    ASSERT_GE(slot, 0);
+    EXPECT_EQ(meta.slotOf(5) >= 0, true);
+    EXPECT_EQ(meta.slotOf(6) >= 0, true);
+}
+
+TEST(NodeMeta, TouchedDummiesNeverRepeat)
+{
+    NodeMeta meta(4, 20);
+    Rng rng(3);
+    std::set<int> seen;
+    for (int i = 0; i < 16; ++i) {
+        const int slot = meta.touchDummy(rng);
+        ASSERT_GE(slot, 0);
+        EXPECT_TRUE(seen.insert(slot).second);
+    }
+}
+
+TEST(NodeMeta, TakeAllValidDrains)
+{
+    NodeMeta meta(4, 9);
+    meta.resetWith({{1, 10, 0}, {2, 20, 1}, {3, 30, 2}});
+    auto blocks = meta.takeAllValid();
+    EXPECT_EQ(blocks.size(), 3u);
+    EXPECT_EQ(meta.validRealCount(), 0u);
+    // A second drain yields nothing.
+    EXPECT_TRUE(meta.takeAllValid().empty());
+}
+
+TEST(NodeMeta, ResetClearsAccessCounter)
+{
+    NodeMeta meta(2, 5);
+    Rng rng(4);
+    meta.touchDummy(rng);
+    meta.touchDummy(rng);
+    EXPECT_EQ(meta.accessed(), 2u);
+    meta.resetWith({});
+    EXPECT_EQ(meta.accessed(), 0u);
+    EXPECT_FALSE(meta.needsReset());
+}
+
+TEST(NodeMeta, ReadAfterResetFindsNewBlocks)
+{
+    NodeMeta meta(2, 5);
+    meta.resetWith({{8, 80, 0}});
+    ASSERT_GE(meta.slotOf(8), 0);
+    meta.resetWith({{9, 90, 1}});
+    EXPECT_EQ(meta.slotOf(8), -1);
+    EXPECT_GE(meta.slotOf(9), 0);
+}
+
+} // namespace
+} // namespace palermo

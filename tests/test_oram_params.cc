@@ -1,0 +1,131 @@
+/** @file Unit tests for ORAM geometry and parameters. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "oram/oram_params.hh"
+
+namespace palermo {
+namespace {
+
+TEST(OramParams, RingDerivation)
+{
+    const OramParams p = OramParams::ring(1 << 18, 16, 27, 20);
+    EXPECT_EQ(p.numLeaves, (1u << 18) / 16);
+    EXPECT_EQ(p.numNodes, 2 * p.numLeaves - 1);
+    EXPECT_EQ(p.levels, 15u);
+    EXPECT_EQ(p.slotsAt(0), 43u);
+    EXPECT_EQ(p.capacityAt(0), 16u);
+}
+
+TEST(OramParams, PathDerivation)
+{
+    const OramParams p = OramParams::path(1 << 16, 4);
+    EXPECT_EQ(p.s, 0u);
+    EXPECT_EQ(p.numLeaves, (1u << 16) / 4);
+    EXPECT_EQ(p.slotsAt(3), 4u);
+}
+
+TEST(OramParams, NonPowerOfTwoBlocksRoundUp)
+{
+    const OramParams p = OramParams::ring(1000, 16, 27, 20);
+    EXPECT_GE(p.numLeaves * 16, 1000u);
+    EXPECT_EQ(p.numLeaves & (p.numLeaves - 1), 0u);
+}
+
+TEST(OramParams, NodeIndexing)
+{
+    const OramParams p = OramParams::ring(1 << 10, 4, 5, 3);
+    EXPECT_EQ(p.nodeAt(0, 0), 0u);
+    EXPECT_EQ(p.nodeAt(1, 0), 1u);
+    EXPECT_EQ(p.nodeAt(1, 1), 2u);
+    EXPECT_EQ(p.nodeAt(2, 3), 6u);
+    EXPECT_EQ(p.levelOf(0), 0u);
+    EXPECT_EQ(p.levelOf(1), 1u);
+    EXPECT_EQ(p.levelOf(6), 2u);
+    EXPECT_EQ(p.parentOf(6), 2u);
+    EXPECT_EQ(p.parentOf(5), 2u);
+    EXPECT_EQ(p.parentOf(0), 0u);
+}
+
+TEST(OramParams, PathNodesRootToLeaf)
+{
+    const OramParams p = OramParams::ring(1 << 10, 4, 5, 3);
+    const Leaf leaf = p.numLeaves - 1;
+    const auto path = p.pathNodes(leaf);
+    ASSERT_EQ(path.size(), p.levels);
+    EXPECT_EQ(path.front(), 0u);
+    EXPECT_EQ(path.back(), p.numNodes - 1);
+    for (std::size_t i = 1; i < path.size(); ++i)
+        EXPECT_EQ(p.parentOf(path[i]), path[i - 1]);
+}
+
+TEST(OramParams, OnPathConsistentWithPathNodes)
+{
+    const OramParams p = OramParams::ring(1 << 10, 4, 5, 3);
+    for (Leaf leaf = 0; leaf < p.numLeaves; leaf += 17) {
+        std::set<NodeId> on_path;
+        for (NodeId node : p.pathNodes(leaf))
+            on_path.insert(node);
+        for (NodeId node = 0; node < p.numNodes; node += 3) {
+            EXPECT_EQ(p.onPath(node, leaf), on_path.count(node) > 0)
+                << "node " << node << " leaf " << leaf;
+        }
+    }
+}
+
+TEST(OramParams, AncestorAgreesWithShift)
+{
+    const OramParams p = OramParams::ring(1 << 12, 8, 12, 8);
+    const Leaf leaf = 0b1011 % p.numLeaves;
+    EXPECT_EQ(p.ancestorOfLeaf(leaf, 0), 0u);
+    EXPECT_EQ(p.ancestorOfLeaf(leaf, p.leafLevel()),
+              p.nodeAt(p.leafLevel(), leaf));
+}
+
+TEST(EvictionLeaf, IsPermutationOverPeriod)
+{
+    const std::uint64_t leaves = 64;
+    std::set<Leaf> seen;
+    for (std::uint64_t i = 0; i < leaves; ++i)
+        seen.insert(evictionLeaf(i, leaves));
+    EXPECT_EQ(seen.size(), leaves);
+}
+
+TEST(EvictionLeaf, SpreadsConsecutiveCounters)
+{
+    // Bit reversal sends consecutive counters to opposite subtrees:
+    // counters 0 and 1 differ in the top leaf bit.
+    const std::uint64_t leaves = 64;
+    EXPECT_EQ(evictionLeaf(0, leaves), 0u);
+    EXPECT_EQ(evictionLeaf(1, leaves), leaves / 2);
+}
+
+TEST(FatTree, RootDoubleLeafSingle)
+{
+    OramParams p = OramParams::ring(1 << 12, 8, 12, 8);
+    applyFatTree(p);
+    EXPECT_EQ(p.capacityAt(0), 16u);
+    EXPECT_EQ(p.capacityAt(p.leafLevel()), 8u);
+    for (unsigned level = 1; level < p.levels; ++level)
+        EXPECT_LE(p.capacityAt(level), p.capacityAt(level - 1));
+}
+
+TEST(IrShrink, MiddleBandSmaller)
+{
+    OramParams p = OramParams::path(1 << 12, 4);
+    applyIrTreeShrink(p);
+    EXPECT_EQ(p.capacityAt(0), 4u);
+    EXPECT_EQ(p.capacityAt(p.leafLevel()), 4u);
+    EXPECT_LT(p.capacityAt(p.levels / 2), 4u);
+}
+
+TEST(OramParams, WideBlocks)
+{
+    const OramParams p = OramParams::ring(1 << 10, 16, 27, 20, 256);
+    EXPECT_EQ(p.linesPerSlot(), 4u);
+}
+
+} // namespace
+} // namespace palermo

@@ -1,0 +1,95 @@
+/** @file Unit tests for the hierarchical PathORAM protocol. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "oram/path_oram.hh"
+
+namespace palermo {
+namespace {
+
+ProtocolConfig
+smallConfig()
+{
+    ProtocolConfig config;
+    config.numBlocks = 1 << 12;
+    config.pathZ = 4;
+    config.treetopBytes = {4096, 2048, 1024};
+    return config;
+}
+
+TEST(PathOram, ThreeLevelPlans)
+{
+    PathOram oram(smallConfig());
+    const auto plans = oram.access(5, false, 0);
+    ASSERT_EQ(plans.size(), 1u);
+    ASSERT_EQ(plans[0].levels.size(), kHierLevels);
+    EXPECT_EQ(plans[0].levels[0].level, kLevelPos2);
+    EXPECT_EQ(plans[0].levels[2].level, kLevelData);
+}
+
+TEST(PathOram, ReadYourWritesAcrossHierarchy)
+{
+    PathOram oram(smallConfig());
+    Rng rng(1);
+    std::map<BlockId, std::uint64_t> shadow;
+    for (int i = 0; i < 800; ++i) {
+        const BlockId pa = rng.range(1 << 12);
+        if (rng.chance(0.5)) {
+            const std::uint64_t value = rng.next();
+            oram.access(pa, true, value);
+            shadow[pa] = value;
+        } else {
+            const auto plans = oram.access(pa, false, 0);
+            EXPECT_EQ(plans[0].value,
+                      shadow.count(pa) ? shadow[pa] : 0u);
+        }
+    }
+}
+
+TEST(PathOram, InvariantMaintained)
+{
+    PathOram oram(smallConfig());
+    Rng rng(2);
+    std::vector<BlockId> touched;
+    for (int i = 0; i < 300; ++i) {
+        const BlockId pa = rng.range(1 << 12);
+        oram.access(pa, true, pa);
+        touched.push_back(pa);
+        for (BlockId b : touched)
+            EXPECT_TRUE(oram.checkBlockInvariant(b));
+    }
+}
+
+TEST(PathOram, StashesBounded)
+{
+    PathOram oram(smallConfig());
+    Rng rng(3);
+    for (int i = 0; i < 1500; ++i)
+        oram.access(rng.range(1 << 12), rng.chance(0.3), i);
+    for (unsigned level = 0; level < kHierLevels; ++level)
+        EXPECT_FALSE(oram.stashOf(level).overflowed());
+}
+
+TEST(PathOram, MoreOpsThanRingConfigComparable)
+{
+    // §III-E: RingORAM cuts DRAM traffic versus PathORAM at matched
+    // protected capacity. Compare ops per access.
+    ProtocolConfig config = smallConfig();
+    config.numBlocks = 1 << 16;
+    PathOram path(config);
+
+    Rng rng(4);
+    std::uint64_t path_ops = 0;
+    const int n = 100;
+    for (int i = 0; i < n; ++i) {
+        const auto plans = path.access(rng.range(1 << 16), false, 0);
+        path_ops += plans[0].readOps() + plans[0].writeOps();
+    }
+    EXPECT_GT(path_ops / n, 150u); // Hundreds per converted access.
+}
+
+} // namespace
+} // namespace palermo

@@ -1,0 +1,86 @@
+/** @file Unit tests for the analytical area/power model. */
+
+#include <gtest/gtest.h>
+
+#include "power/area_power.hh"
+
+namespace palermo {
+namespace {
+
+TEST(AreaPower, TableIIITotalsMatchPaper)
+{
+    const AreaPowerEstimate est = estimateController({});
+    // Fig. 15: 5.78 mm^2 and 2.14 W; the analytical model is calibrated
+    // to land within 10%.
+    EXPECT_NEAR(est.totalAreaMm2(), 5.78, 0.58);
+    EXPECT_NEAR(est.totalPowerW(), 2.14, 0.22);
+}
+
+TEST(AreaPower, ComponentsPresent)
+{
+    const AreaPowerEstimate est = estimateController({});
+    ASSERT_EQ(est.components.size(), 6u);
+    bool has_treetop = false;
+    bool has_posmap = false;
+    for (const auto &c : est.components) {
+        EXPECT_GT(c.areaMm2, 0.0);
+        EXPECT_GT(c.powerW, 0.0);
+        has_treetop |= (c.name == "Tree-top caches");
+        has_posmap |= (c.name == "PosMap3 eDRAM");
+    }
+    EXPECT_TRUE(has_treetop);
+    EXPECT_TRUE(has_posmap);
+}
+
+TEST(AreaPower, CachesDominate)
+{
+    // Paper: the majority of area/power is on-chip memories (tree-top
+    // caches + PE buffers + PosMap3), not control logic.
+    const AreaPowerEstimate est = estimateController({});
+    double memory_area = 0.0;
+    double logic_area = 0.0;
+    for (const auto &c : est.components) {
+        if (c.name == "PE control logic" || c.name == "Crypto units")
+            logic_area += c.areaMm2;
+        else
+            memory_area += c.areaMm2;
+    }
+    EXPECT_GT(memory_area, 2 * logic_area);
+}
+
+TEST(AreaPower, ScalesWithPeColumns)
+{
+    ControllerFloorplan narrow;
+    narrow.peColumns = 1;
+    ControllerFloorplan wide;
+    wide.peColumns = 32;
+    EXPECT_LT(estimateController(narrow).totalAreaMm2(),
+              estimateController(wide).totalAreaMm2());
+    EXPECT_LT(estimateController(narrow).totalPowerW(),
+              estimateController(wide).totalPowerW());
+}
+
+TEST(AreaPower, ScalesWithCaches)
+{
+    ControllerFloorplan small;
+    small.treetopBytesTotal = 64 * 1024;
+    ControllerFloorplan large;
+    large.treetopBytesTotal = 4ull * 1024 * 1024;
+    EXPECT_LT(estimateController(small).totalAreaMm2(),
+              estimateController(large).totalAreaMm2());
+}
+
+TEST(AreaPower, PowerScalesWithFrequency)
+{
+    ControllerFloorplan slow;
+    slow.clockGHz = 0.8;
+    ControllerFloorplan fast;
+    fast.clockGHz = 1.6;
+    EXPECT_LT(estimateController(slow).totalPowerW(),
+              estimateController(fast).totalPowerW());
+    EXPECT_DOUBLE_EQ(estimateController(slow).totalAreaMm2(),
+                     estimateController(fast).totalAreaMm2());
+}
+
+} // namespace
+} // namespace palermo

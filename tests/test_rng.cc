@@ -1,0 +1,152 @@
+/** @file Unit tests for the deterministic RNG and Zipf sampler. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace palermo {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(7);
+    const std::uint64_t first = a.next();
+    a.next();
+    a.seed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, RangeStaysInBounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.range(17), 17u);
+}
+
+TEST(Rng, RangeOfOneIsZero)
+{
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.range(1), 0u);
+}
+
+TEST(Rng, RangeCoversAllValues)
+{
+    Rng rng(5);
+    std::map<std::uint64_t, int> seen;
+    for (int i = 0; i < 2000; ++i)
+        ++seen[rng.range(8)];
+    EXPECT_EQ(seen.size(), 8u);
+    for (const auto &[value, count] : seen)
+        EXPECT_GT(count, 100) << "value " << value << " undersampled";
+}
+
+TEST(Rng, BetweenInclusiveBounds)
+{
+    Rng rng(11);
+    bool hit_lo = false;
+    bool hit_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t v = rng.between(10, 13);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 13u);
+        hit_lo |= (v == 10);
+        hit_hi |= (v == 13);
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Mix64, DistinctInputsDistinctOutputs)
+{
+    std::map<std::uint64_t, std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+        const std::uint64_t h = mix64(i);
+        EXPECT_EQ(seen.count(h), 0u);
+        seen[i] = h;
+    }
+}
+
+TEST(Zipf, SamplesInRange)
+{
+    ZipfSampler zipf(100, 0.99, 1);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(zipf.sample(), 100u);
+}
+
+TEST(Zipf, SkewFavorsLowRanks)
+{
+    ZipfSampler zipf(1000, 1.0, 2);
+    std::uint64_t top10 = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        top10 += (zipf.sample() < 10);
+    // Zipf(1.0) over 1000 items: top-10 mass ~ H(10)/H(1000) ~ 39%.
+    EXPECT_GT(static_cast<double>(top10) / n, 0.25);
+}
+
+TEST(Zipf, AlphaZeroIsNearUniform)
+{
+    ZipfSampler zipf(100, 0.0, 3);
+    std::uint64_t top10 = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        top10 += (zipf.sample() < 10);
+    EXPECT_NEAR(static_cast<double>(top10) / n, 0.10, 0.02);
+}
+
+TEST(Zipf, HugeSpaceTailSampled)
+{
+    // Space larger than the exact CDF table: tail ranks must appear.
+    ZipfSampler zipf(1ull << 24, 0.5, 4);
+    bool tail = false;
+    for (int i = 0; i < 20000; ++i)
+        tail |= (zipf.sample() >= (1ull << 20));
+    EXPECT_TRUE(tail);
+}
+
+} // namespace
+} // namespace palermo

@@ -1,0 +1,126 @@
+/** @file Unit tests for the security analysis toolkit. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "security/mutual_info.hh"
+#include "security/uniformity.hh"
+
+namespace palermo {
+namespace {
+
+TEST(MutualInformation, ZeroWhenIndistinguishable)
+{
+    EXPECT_NEAR(mutualInformation(0.5, 0.5), 0.0, 1e-12);
+    EXPECT_NEAR(mutualInformation(0.3, 0.3), 0.0, 1e-12);
+}
+
+TEST(MutualInformation, OneBitWhenFullyDistinguishable)
+{
+    EXPECT_NEAR(mutualInformation(1.0, 0.0), 1.0, 1e-12);
+    EXPECT_NEAR(mutualInformation(0.0, 1.0), 1.0, 1e-12);
+}
+
+TEST(MutualInformation, MonotoneInSeparation)
+{
+    const double weak = mutualInformation(0.55, 0.45);
+    const double strong = mutualInformation(0.9, 0.1);
+    EXPECT_GT(strong, weak);
+    EXPECT_GT(weak, 0.0);
+}
+
+TEST(MutualInformation, SymmetricInArguments)
+{
+    EXPECT_NEAR(mutualInformation(0.7, 0.2), mutualInformation(0.2, 0.7),
+                1e-12);
+}
+
+TEST(AttackerModel, FitsIndependentSamples)
+{
+    // Latency independent of behavior: p1 ~ p2 ~ 0.5, M ~ 0.
+    Rng rng(1);
+    std::vector<LatencySample> samples;
+    for (int i = 0; i < 20000; ++i)
+        samples.push_back({rng.uniform() * 1000.0, rng.chance(0.3)});
+    const AttackerModel model = fitAttackerModel(samples);
+    EXPECT_NEAR(model.p1, 0.5, 0.03);
+    EXPECT_NEAR(model.p2, 0.5, 0.03);
+    EXPECT_LT(mutualInformationOf(samples), 0.002);
+}
+
+TEST(AttackerModel, DetectsLeakySamples)
+{
+    // Stash hits are fast: a timing side channel the metric must flag.
+    Rng rng(2);
+    std::vector<LatencySample> samples;
+    for (int i = 0; i < 5000; ++i) {
+        const bool stash = rng.chance(0.5);
+        const double latency = stash ? 100.0 + rng.uniform() * 50
+                                     : 500.0 + rng.uniform() * 50;
+        samples.push_back({latency, stash});
+    }
+    EXPECT_GT(mutualInformationOf(samples), 0.9);
+}
+
+TEST(AttackerModel, MedianSplitsSamples)
+{
+    std::vector<LatencySample> samples;
+    for (int i = 0; i < 1000; ++i)
+        samples.push_back({static_cast<double>(i), false});
+    const AttackerModel model = fitAttackerModel(samples);
+    EXPECT_NEAR(model.p2, 0.5, 0.01);
+}
+
+TEST(ChiSquare, AcceptsUniformCounts)
+{
+    Rng rng(3);
+    std::vector<std::uint64_t> counts(64, 0);
+    for (int i = 0; i < 64000; ++i)
+        ++counts[rng.range(64)];
+    EXPECT_TRUE(chiSquareUniform(counts).uniform);
+}
+
+TEST(ChiSquare, RejectsSkewedCounts)
+{
+    std::vector<std::uint64_t> counts(64, 100);
+    counts[0] = 5000;
+    EXPECT_FALSE(chiSquareUniform(counts).uniform);
+}
+
+TEST(LeafUniformity, RandomLeavesPass)
+{
+    Rng rng(4);
+    std::vector<Leaf> leaves;
+    for (int i = 0; i < 50000; ++i)
+        leaves.push_back(rng.range(1 << 14));
+    EXPECT_TRUE(leafUniformity(leaves, 1 << 14).uniform);
+}
+
+TEST(LeafUniformity, HotLeafFails)
+{
+    Rng rng(5);
+    std::vector<Leaf> leaves;
+    for (int i = 0; i < 20000; ++i)
+        leaves.push_back(rng.chance(0.3) ? 7 : rng.range(1 << 14));
+    EXPECT_FALSE(leafUniformity(leaves, 1 << 14).uniform);
+}
+
+TEST(SerialCorrelation, NearZeroForIndependentDraws)
+{
+    Rng rng(6);
+    std::vector<Leaf> leaves;
+    for (int i = 0; i < 50000; ++i)
+        leaves.push_back(rng.range(1024));
+    EXPECT_NEAR(serialCorrelation(leaves), 0.0, 0.02);
+}
+
+TEST(SerialCorrelation, HighForRamp)
+{
+    std::vector<Leaf> leaves;
+    for (Leaf l = 0; l < 1000; ++l)
+        leaves.push_back(l);
+    EXPECT_GT(serialCorrelation(leaves), 0.9);
+}
+
+} // namespace
+} // namespace palermo

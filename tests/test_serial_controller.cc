@@ -1,0 +1,176 @@
+/** @file Unit tests for the baseline serial timing controller. */
+
+#include <gtest/gtest.h>
+
+#include "controller/serial_controller.hh"
+#include "mem/dram_system.hh"
+#include "oram/pr_oram.hh"
+#include "oram/ring_oram.hh"
+
+namespace palermo {
+namespace {
+
+ProtocolConfig
+tinyConfig()
+{
+    ProtocolConfig config;
+    config.numBlocks = 1 << 10;
+    config.ringZ = 4;
+    config.ringS = 5;
+    config.ringA = 3;
+    config.treetopBytes = {2048, 1024, 1024};
+    return config;
+}
+
+DramConfig
+tinyDram()
+{
+    DramConfig config;
+    config.org.rows = 1u << 10;
+    return config;
+}
+
+/** Run until the controller drains or the tick limit hits. */
+Tick
+runToIdle(SerialController &controller, DramSystem &dram,
+          Tick limit = 2'000'000)
+{
+    while (!controller.idle() && dram.now() < limit) {
+        for (const Completion &c : dram.drainCompletions())
+            controller.onCompletion(c.tag);
+        controller.tick(dram);
+        dram.tick();
+    }
+    return dram.now();
+}
+
+TEST(SerialController, CompletesSingleRequest)
+{
+    DramSystem dram(tinyDram());
+    SerialController controller(
+        std::make_unique<RingOram>(tinyConfig()));
+    controller.push(5, false, 0, false);
+    runToIdle(controller, dram);
+    EXPECT_TRUE(controller.idle());
+    EXPECT_EQ(controller.stats().served, 1u);
+    EXPECT_EQ(controller.stats().latency.count(), 1u);
+}
+
+TEST(SerialController, ServesInOrder)
+{
+    DramSystem dram(tinyDram());
+    SerialController controller(
+        std::make_unique<RingOram>(tinyConfig()));
+    for (BlockId pa = 0; pa < 6; ++pa)
+        controller.push(pa, false, 0, false);
+    runToIdle(controller, dram);
+    EXPECT_EQ(controller.stats().served, 6u);
+    EXPECT_EQ(controller.stats().samples.size(), 6u);
+}
+
+TEST(SerialController, AdmissionBounded)
+{
+    DramSystem dram(tinyDram());
+    SerialController controller(
+        std::make_unique<RingOram>(tinyConfig()), 16, 4);
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(controller.canAccept());
+        controller.push(i, false, 0, false);
+    }
+    EXPECT_FALSE(controller.canAccept());
+}
+
+TEST(SerialController, SyncCyclesDominant)
+{
+    // The §III-A observation: the serial protocol stalls the memory
+    // controller most of the time (ORAM-sync ~72% in the paper).
+    DramSystem dram(tinyDram());
+    SerialController controller(
+        std::make_unique<RingOram>(tinyConfig()));
+    for (BlockId pa = 0; pa < 8; ++pa) {
+        while (!controller.canAccept()) {
+            controller.tick(dram);
+            dram.tick();
+        }
+        controller.push(pa * 37 % (1 << 10), false, 0, false);
+    }
+    runToIdle(controller, dram);
+    EXPECT_GT(controller.stats().syncFraction(), 0.4);
+}
+
+TEST(SerialController, AttributesCyclesToAllLevels)
+{
+    DramSystem dram(tinyDram());
+    SerialController controller(
+        std::make_unique<RingOram>(tinyConfig()));
+    for (BlockId pa = 0; pa < 8; ++pa) {
+        while (!controller.canAccept()) {
+            controller.tick(dram);
+            dram.tick();
+        }
+        controller.push(pa * 131 % (1 << 10), false, 0, false);
+    }
+    runToIdle(controller, dram);
+    for (unsigned level = 0; level < kHierLevels; ++level) {
+        EXPECT_GT(controller.stats().dramCycles[level]
+                      + controller.stats().syncCycles[level],
+                  0u)
+            << "level " << level << " never attributed";
+    }
+}
+
+TEST(SerialController, DummyRequestsNotServed)
+{
+    DramSystem dram(tinyDram());
+    SerialController controller(
+        std::make_unique<RingOram>(tinyConfig()));
+    controller.push(3, false, 0, /*dummy=*/true);
+    runToIdle(controller, dram);
+    EXPECT_EQ(controller.stats().served, 0u);
+    EXPECT_EQ(controller.stats().dummies, 1u);
+    EXPECT_EQ(controller.stats().samples.size(), 0u);
+}
+
+TEST(SerialController, LlcHitsRetireInstantly)
+{
+    ProtocolConfig config = tinyConfig();
+    config.pathZ = 4;
+    config.prefetchLen = 4;
+    config.throttle = false;
+    DramSystem dram(tinyDram());
+    SerialController controller(std::make_unique<PrOram>(config));
+    controller.push(8, false, 0, false); // Prefetches 8..11.
+    runToIdle(controller, dram);
+    const Tick before = dram.now();
+    controller.push(9, false, 0, false); // LLC hit.
+    runToIdle(controller, dram);
+    EXPECT_LE(dram.now() - before, 4u);
+    EXPECT_GE(controller.stats().llcHits, 1u);
+}
+
+TEST(SerialController, WritesReadBack)
+{
+    DramSystem dram(tinyDram());
+    auto protocol = std::make_unique<RingOram>(tinyConfig());
+    RingOram *ring = protocol.get();
+    SerialController controller(std::move(protocol));
+    controller.push(17, true, 0xabcd, false);
+    runToIdle(controller, dram);
+    const auto plans = ring->access(17, false, 0);
+    EXPECT_EQ(plans[0].value, 0xabcdu);
+}
+
+TEST(SerialController, IdleCyclesWhenQueueEmpty)
+{
+    DramSystem dram(tinyDram());
+    SerialController controller(
+        std::make_unique<RingOram>(tinyConfig()));
+    for (int i = 0; i < 10; ++i) {
+        controller.tick(dram);
+        dram.tick();
+    }
+    EXPECT_EQ(controller.stats().idleCycles, 10u);
+}
+
+} // namespace
+} // namespace palermo

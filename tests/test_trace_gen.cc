@@ -1,0 +1,148 @@
+/** @file Unit tests for the Table II workload trace generators. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/trace_gen.hh"
+
+namespace palermo {
+namespace {
+
+constexpr std::uint64_t kLines = 1 << 16;
+
+TEST(TraceGen, AllWorkloadsConstructAndEmit)
+{
+    for (Workload workload : allWorkloads()) {
+        auto trace = makeTrace(workload, kLines, 1);
+        for (int i = 0; i < 1000; ++i) {
+            const TraceRecord record = trace->next();
+            EXPECT_LT(record.line, kLines)
+                << workloadName(workload) << " out of range";
+        }
+    }
+}
+
+TEST(TraceGen, DeterministicForSeed)
+{
+    for (Workload workload : allWorkloads()) {
+        auto a = makeTrace(workload, kLines, 7);
+        auto b = makeTrace(workload, kLines, 7);
+        for (int i = 0; i < 200; ++i) {
+            const TraceRecord ra = a->next();
+            const TraceRecord rb = b->next();
+            EXPECT_EQ(ra.line, rb.line) << workloadName(workload);
+            EXPECT_EQ(ra.write, rb.write);
+        }
+    }
+}
+
+TEST(TraceGen, SeedsDiverge)
+{
+    auto a = makeTrace(Workload::Random, kLines, 1);
+    auto b = makeTrace(Workload::Random, kLines, 2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a->next().line == b->next().line);
+    EXPECT_LT(same, 5);
+}
+
+TEST(TraceGen, StreamIsSequential)
+{
+    auto trace = makeTrace(Workload::Stream, kLines, 1);
+    for (std::uint64_t i = 0; i < 5000; ++i) {
+        const TraceRecord record = trace->next();
+        EXPECT_EQ(record.line, i % kLines);
+        EXPECT_FALSE(record.write);
+    }
+}
+
+TEST(TraceGen, RandomSpreadsWide)
+{
+    auto trace = makeTrace(Workload::Random, kLines, 3);
+    std::set<BlockId> seen;
+    for (int i = 0; i < 4000; ++i)
+        seen.insert(trace->next().line);
+    // Uniform draws rarely collide at this density.
+    EXPECT_GT(seen.size(), 3700u);
+}
+
+TEST(TraceGen, RedisIsSkewedAndUnordered)
+{
+    auto trace = makeTrace(Workload::Redis, kLines, 4);
+    std::map<BlockId, int> counts;
+    for (int i = 0; i < 20000; ++i)
+        ++counts[trace->next().line];
+    int max_count = 0;
+    for (const auto &[line, count] : counts)
+        max_count = std::max(max_count, count);
+    // Zipf keys: the hottest line dominates uniform expectation.
+    EXPECT_GT(max_count, 50);
+}
+
+TEST(TraceGen, LlmReadsEmbeddingRows)
+{
+    auto trace = makeTrace(Workload::Llm, kLines, 5);
+    // Rows are 8 sequential lines.
+    const TraceRecord first = trace->next();
+    for (unsigned i = 1; i < 8; ++i) {
+        const TraceRecord record = trace->next();
+        EXPECT_EQ(record.line, (first.line + i) % kLines);
+    }
+}
+
+TEST(TraceGen, Dlrm2ReadsRowsOf4)
+{
+    auto trace = makeTrace(Workload::Dlrm2, kLines, 6);
+    const TraceRecord first = trace->next();
+    for (unsigned i = 1; i < 4; ++i)
+        EXPECT_EQ(trace->next().line, (first.line + i) % kLines);
+}
+
+TEST(TraceGen, WriteMixesDifferAcrossWorkloads)
+{
+    std::map<Workload, double> write_frac;
+    for (Workload workload :
+         {Workload::Mcf, Workload::Redis, Workload::Llm}) {
+        auto trace = makeTrace(workload, kLines, 7);
+        int writes = 0;
+        const int n = 5000;
+        for (int i = 0; i < n; ++i)
+            writes += trace->next().write;
+        write_frac[workload] = static_cast<double>(writes) / n;
+    }
+    EXPECT_GT(write_frac[Workload::Mcf], 0.1);
+    EXPECT_GT(write_frac[Workload::Redis], 0.2);
+    EXPECT_DOUBLE_EQ(write_frac[Workload::Llm], 0.0);
+}
+
+TEST(TraceGen, McfHasReuse)
+{
+    auto trace = makeTrace(Workload::Mcf, kLines, 8);
+    std::map<BlockId, int> counts;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        ++counts[trace->next().line];
+    // Pointer chasing with a recency set revisits lines.
+    EXPECT_LT(counts.size(), static_cast<std::size_t>(n));
+}
+
+TEST(TraceGen, NamesRoundTrip)
+{
+    for (Workload workload : allWorkloads())
+        EXPECT_EQ(workloadFromName(workloadName(workload)), workload);
+    EXPECT_EQ(workloadFromName("stm"), Workload::Stream);
+    EXPECT_EQ(workloadFromName("rand"), Workload::Random);
+}
+
+TEST(TraceGen, TenWorkloadsInFigureOrder)
+{
+    const auto &workloads = allWorkloads();
+    ASSERT_EQ(workloads.size(), 10u);
+    EXPECT_EQ(workloads.front(), Workload::Mcf);
+    EXPECT_EQ(workloads.back(), Workload::Random);
+}
+
+} // namespace
+} // namespace palermo

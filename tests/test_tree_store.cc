@@ -1,0 +1,60 @@
+/** @file Unit tests for the lazily allocated tree store. */
+
+#include <gtest/gtest.h>
+
+#include "oram/tree_store.hh"
+
+namespace palermo {
+namespace {
+
+TEST(TreeStore, LazyMaterialization)
+{
+    TreeStore store(OramParams::ring(1 << 8, 4, 5, 3));
+    EXPECT_EQ(store.touchedCount(), 0u);
+    EXPECT_FALSE(store.touched(0));
+    store.node(0);
+    EXPECT_TRUE(store.touched(0));
+    EXPECT_EQ(store.touchedCount(), 1u);
+}
+
+TEST(TreeStore, NodeCapacityFollowsLevel)
+{
+    OramParams params = OramParams::ring(1 << 8, 4, 5, 3);
+    applyFatTree(params);
+    TreeStore store(params);
+    EXPECT_EQ(store.node(0).capacity(), params.capacityAt(0));
+    const NodeId leaf = params.nodeAt(params.leafLevel(), 0);
+    EXPECT_EQ(store.node(leaf).capacity(),
+              params.capacityAt(params.leafLevel()));
+}
+
+TEST(TreeStore, PeekDoesNotMaterialize)
+{
+    TreeStore store(OramParams::ring(1 << 8, 4, 5, 3));
+    EXPECT_EQ(store.peek(3), nullptr);
+    EXPECT_EQ(store.touchedCount(), 0u);
+    store.node(3);
+    EXPECT_NE(store.peek(3), nullptr);
+}
+
+TEST(TreeStore, StatePersists)
+{
+    TreeStore store(OramParams::ring(1 << 8, 4, 5, 3));
+    store.node(5).resetWith({{42, 420, 0}});
+    EXPECT_EQ(store.node(5).slotOf(42) >= 0, true);
+    EXPECT_EQ(store.totalValidBlocks(), 1u);
+}
+
+TEST(TreeStore, HugeGeometryConstructibleLazily)
+{
+    // The paper's 16 GB space: 2^28 blocks. Lazy allocation means
+    // touching one path costs only `levels` buckets of host memory.
+    const OramParams params = OramParams::ring(1ull << 28, 16, 27, 20);
+    TreeStore store(params);
+    for (NodeId node : params.pathNodes(12345))
+        store.node(node);
+    EXPECT_EQ(store.touchedCount(), params.levels);
+}
+
+} // namespace
+} // namespace palermo
