@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Implementation of the gem5-style reporting channels: message
+ * formatting, stream selection, and abort semantics for panic/fatal.
+ */
+
 #include "common/log.hh"
 
 #include <cstdio>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * xoshiro256** core, SplitMix64 seeding, and the rejection-sampled
+ * uniform / Zipf distribution helpers.
+ */
+
 #include "common/rng.hh"
 
 #include <algorithm>

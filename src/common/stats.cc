@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Counter/Average/Histogram bookkeeping and text formatting.
+ */
+
 #include "common/stats.hh"
 
 #include <algorithm>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Per-level cycle attribution (Fig. 3b), latency histogram, and
+ * security-sample collection shared by all timing controllers.
+ */
+
 #include "controller/controller_stats.hh"
 
 namespace palermo {

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * The 3xN PE-mesh timing model (paper §V): per-PE state machines,
+ * per-tree commit ordering across columns, crypto-pipeline occupancy,
+ * and the DRAM completion plumbing.
+ */
+
 #include "controller/palermo_controller.hh"
 
 #include <algorithm>

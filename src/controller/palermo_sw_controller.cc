@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Palermo-SW timing: Algorithm 2 with coarse software synchronization
+ * (one request per level in flight) instead of the PE mesh.
+ */
+
 #include "controller/palermo_sw_controller.hh"
 
 namespace palermo {

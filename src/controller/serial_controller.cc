@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Baseline serial timing (paper §III-A): one ORAM request at a time,
+ * phase-by-phase issue with intra-phase read concurrency.
+ */
+
 #include "controller/serial_controller.hh"
 
 #include "common/log.hh"

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Budget-to-level-count computation for the Phantom-style tree-top
+ * scratchpad.
+ */
+
 #include "controller/treetop_cache.hh"
 
 #include "oram/hierarchy.hh"

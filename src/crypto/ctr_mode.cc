@@ -1,3 +1,9 @@
+/**
+ * @file
+ * CTR keystream generation and 64B payload encrypt/decrypt over
+ * Speck128.
+ */
+
 #include "crypto/ctr_mode.hh"
 
 namespace palermo {

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Speck-based PRF evaluation for default posmap entries and block
+ * permutations.
+ */
+
 #include "crypto/prf.hh"
 
 #include "common/log.hh"

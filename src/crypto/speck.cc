@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Speck128/128 key schedule and round functions.
+ */
+
 #include "crypto/speck.hh"
 
 namespace palermo {

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * RoBaRaCoCh (and variants) bit-slicing from physical address to
+ * channel/rank/bank-group/bank/row/column coordinates.
+ */
+
 #include "mem/address_map.hh"
 
 #include "common/log.hh"

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Open-row tracking and per-command-class earliest-legal-tick updates
+ * for one DRAM bank.
+ */
+
 #include "mem/bank.hh"
 
 #include <algorithm>

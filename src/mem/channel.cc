@@ -1,3 +1,9 @@
+/**
+ * @file
+ * FR-FCFS scheduling, write-drain hysteresis, tRRD/tFAW windows,
+ * CAS-to-CAS gating, and refresh for one DDR4 channel.
+ */
+
 #include "mem/channel.hh"
 
 #include <algorithm>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Channel routing, per-tick advancement, completion delivery, and
+ * aggregate bandwidth/row-hit statistics.
+ */
+
 #include "mem/dram_system.hh"
 
 #include <algorithm>

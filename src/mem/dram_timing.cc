@@ -1,3 +1,9 @@
+/**
+ * @file
+ * DDR4-3200AA (and related speed bins) timing tables in 1.6 GHz
+ * bus-clock cycles.
+ */
+
 #include "mem/dram_timing.hh"
 
 namespace palermo {

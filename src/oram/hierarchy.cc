@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Per-level space derivation, tree-top budget split, and the LLC
+ * prefetch-residency filter shared by every protocol.
+ */
+
 #include "oram/hierarchy.hh"
 
 #include "common/log.hh"

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * IR-ORAM path-access-type classification and the resulting
+ * reduced-intensity plans (Raoufi et al., HPCA'22).
+ */
+
 #include "oram/ir_oram.hh"
 
 #include "common/log.hh"

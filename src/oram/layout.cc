@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Byte-address layout of buckets, slots, and node metadata in the
+ * outsourced DRAM image.
+ */
+
 #include "oram/layout.hh"
 
 #include "common/log.hh"

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * RingEngine: ReadPath/EvictPath/EarlyReshuffle (paper Algorithm 1)
+ * for a single ORAM tree, including permuted slot selection and
+ * reshuffle scheduling.
+ */
+
 #include "oram/level_engine.hh"
 
 #include <algorithm>

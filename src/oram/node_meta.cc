@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Slot valid-bit bookkeeping and the access counter driving
+ * EarlyReshuffle.
+ */
+
 #include "oram/node_meta.hh"
 
 #include "common/log.hh"

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Tree geometry derivation (levels, leaves, bucket shapes) from a
+ * protected-space size, via C++20 bit operations.
+ */
+
 #include "oram/oram_params.hh"
 
 #include <bit>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * PageORAM sibling-set residence and DRAM-page-aware plan generation
+ * (Rajat et al., MICRO'22).
+ */
+
 #include "oram/page_oram.hh"
 
 #include "common/log.hh"

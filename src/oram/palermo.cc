@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Palermo protocol state (paper Algorithm 2): pending-aware uniform
+ * leaf resolution, per-level begin/commit, and the prefetch admission
+ * filter.
+ */
+
 #include "oram/palermo.hh"
 
 #include "common/log.hh"

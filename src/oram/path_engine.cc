@@ -1,3 +1,9 @@
+/**
+ * @file
+ * PathEngine: read-every-slot path access and write-back eviction for
+ * classical PathORAM (Stefanov et al.).
+ */
+
 #include "oram/path_engine.hh"
 
 #include <algorithm>

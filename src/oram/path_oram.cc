@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Three-level hierarchical PathORAM protocol driver, the Fig. 10
+ * normalization baseline.
+ */
+
 #include "oram/path_oram.hh"
 
 #include "common/log.hh"

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * LevelPlan/AccessPlan construction helpers bridging functional
+ * protocol execution to the timing controllers.
+ */
+
 #include "oram/plan.hh"
 
 namespace palermo {

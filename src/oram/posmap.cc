@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Position-map storage with PRF defaults for never-touched entries.
+ */
+
 #include "oram/posmap.hh"
 
 #include "common/log.hh"

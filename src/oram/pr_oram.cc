@@ -1,3 +1,9 @@
+/**
+ * @file
+ * PrORAM/LAORAM prefetching protocols: leaf-colocated superblocks,
+ * Fat-Tree layout, and issue throttling (paper Fig. 4 setup).
+ */
+
 #include "oram/pr_oram.hh"
 
 #include "common/log.hh"

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Three-level hierarchical RingORAM protocol driver (paper
+ * Algorithm 1 + §II-D recursion).
+ */
+
 #include "oram/ring_oram.hh"
 
 #include "common/log.hh"

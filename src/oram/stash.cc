@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Stash insert/evict/lookup with capacity accounting and watermark
+ * tracking.
+ */
+
 #include "oram/stash.hh"
 
 #include "common/log.hh"

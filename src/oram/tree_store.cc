@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Lazy bucket materialization so the 16 GB Table III geometry is
+ * constructible without allocating 2^25 nodes up front.
+ */
+
 #include "oram/tree_store.hh"
 
 #include "common/log.hh"

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Per-component 28nm area/power coefficients and floorplan
+ * composition for the Fig. 15 estimate.
+ */
+
 #include "power/area_power.hh"
 
 namespace palermo {

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Latency-classifier construction and Equation 1 mutual-information
+ * evaluation over per-request samples (paper §VI, Table I).
+ */
+
 #include "security/mutual_info.hh"
 
 #include <algorithm>

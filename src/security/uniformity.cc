@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Chi-square goodness-of-fit and serial-correlation probes over
+ * attacker-visible leaf sequences (paper §VI).
+ */
+
 #include "security/uniformity.hh"
 
 #include <cmath>

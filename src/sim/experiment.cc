@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Protocol/controller factory for every Fig. 10 design point and the
+ * one-call runExperiment helper.
+ */
+
 #include "sim/experiment.hh"
 
 #include "common/log.hh"

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Saturated closed-loop and constant-rate (security-mode) LLC-miss
+ * issue, substituting the paper's Sniper-driven host.
+ */
+
 #include "sim/frontend.hh"
 
 #include "common/log.hh"

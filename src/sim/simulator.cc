@@ -1,3 +1,9 @@
+/**
+ * @file
+ * The tick loop: frontend -> controller -> DDR4 advancement, warmup
+ * boundary, and RunMetrics condensation.
+ */
+
 #include "sim/simulator.hh"
 
 #include <algorithm>

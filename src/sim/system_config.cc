@@ -1,3 +1,9 @@
+/**
+ * @file
+ * benchDefault / paperTableIII geometry construction, PALERMO_* env
+ * overrides, and the bench-banner description string.
+ */
+
 #include "sim/system_config.hh"
 
 #include <cstdlib>

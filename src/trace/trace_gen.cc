@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Synthetic Table II workload generators reproducing each trace's
+ * locality class (Zipf gathers, stencils, streams, pointer chases).
+ */
+
 #include "trace/trace_gen.hh"
 
 #include <algorithm>

@@ -1,0 +1,68 @@
+/**
+ * @file Link-level smoke test: SystemConfig defaults construct, one
+ * end-to-end PalermoOram access round-trips a value, and a tiny timed
+ * run exercises the full frontend -> controller -> DDR4 link graph.
+ * Kept deliberately shallow so tier-1 catches build/link regressions
+ * even when a deeper unit test is skipped or filtered out.
+ */
+
+#include <gtest/gtest.h>
+
+#include "oram/palermo.hh"
+#include "sim/experiment.hh"
+
+namespace palermo {
+namespace {
+
+TEST(Smoke, SystemConfigDefaultsConstruct)
+{
+    // Bench env overrides would make the two geometries identical.
+    for (const char *var : {"PALERMO_REQS", "PALERMO_BLOCKS", "PALERMO_SEED"})
+        unsetenv(var);
+
+    const SystemConfig bench = SystemConfig::benchDefault();
+    EXPECT_GT(bench.protocol.numBlocks, 0u);
+    EXPECT_FALSE(bench.describe().empty());
+
+    const SystemConfig paper = SystemConfig::paperTableIII();
+    EXPECT_GT(paper.protocol.numBlocks, bench.protocol.numBlocks);
+}
+
+TEST(Smoke, PalermoOramEndToEndAccess)
+{
+    SystemConfig config = SystemConfig::benchDefault();
+    config.protocol.numBlocks = 1 << 12; // Shrink so the smoke stays fast.
+    config.protocol.treetopBytes = {8192, 4096, 2048};
+
+    PalermoOram oram(config.protocol);
+    const BlockId pa = 42;
+    const std::uint64_t payload = 0xfeedface;
+
+    // One full request in protocol order: PosMap2 -> PosMap1 -> data.
+    const auto ids = oram.decompose(pa);
+    for (unsigned level = kHierLevels; level-- > 0;)
+        oram.beginLevel(level, ids[level]);
+    oram.finishData(pa, true, payload);
+
+    for (unsigned level = kHierLevels; level-- > 0;)
+        oram.beginLevel(level, ids[level]);
+    EXPECT_EQ(oram.finishData(pa, false, 0), payload);
+    EXPECT_EQ(oram.palermoStats().requests, 2u);
+}
+
+TEST(Smoke, TimedSimulationCompletes)
+{
+    SystemConfig config = SystemConfig::benchDefault();
+    config.protocol.numBlocks = 1 << 12;
+    config.protocol.treetopBytes = {8192, 4096, 2048};
+    config.totalRequests = 64;
+    config.dram.org.rows = 1u << 10;
+
+    const RunMetrics metrics =
+        runExperiment(ProtocolKind::Palermo, Workload::Random, config);
+    EXPECT_EQ(metrics.served, config.totalRequests);
+    EXPECT_GT(metrics.requestsPerKilocycle, 0.0);
+}
+
+} // namespace
+} // namespace palermo
