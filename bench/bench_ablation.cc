@@ -8,6 +8,7 @@
  */
 
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hh"
 #include "sim/experiment.hh"
@@ -18,94 +19,137 @@ using namespace palermo::bench;
 namespace {
 
 double
-palermoThroughput(const SystemConfig &config)
+throughput(const bench::Harness &harness, const std::string &id)
 {
-    return runExperiment(ProtocolKind::Palermo, Workload::Random, config)
-        .requestsPerKilocycle;
-}
-
-double
-ringThroughput(const SystemConfig &config)
-{
-    return runExperiment(ProtocolKind::RingOram, Workload::Random,
-                         config)
-        .requestsPerKilocycle;
+    return harness.metrics(id).requestsPerKilocycle;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    Harness harness(argc, argv, "bench_ablation");
     SystemConfig base = SystemConfig::benchDefault();
     base.totalRequests = std::min<std::uint64_t>(base.totalRequests, 1500);
     banner("Ablations -- where Palermo's speedup comes from",
            "design-choice sweeps beyond the paper's Fig. 14",
            base);
-    const double palermo_base = palermoThroughput(base);
-    const double ring_base = ringThroughput(base);
-    std::printf("\nbaselines: Palermo %.3f, RingORAM %.3f "
-                "misses/kilocycle (%.2fx)\n",
-                palermo_base, ring_base, palermo_base / ring_base);
 
-    std::printf("\n(1) per-PE issue width (DRAM enqueues/cycle)\n");
-    head("width", {"Palermo(x)"});
-    for (unsigned width : {1u, 2u, 4u, 8u}) {
+    const std::vector<unsigned> widths = {1, 2, 4, 8};
+    const std::vector<unsigned> latencies = {1, 4, 16, 64};
+    const std::vector<unsigned> scales = {0, 1, 4, 16};
+    const std::vector<unsigned> channel_counts = {1, 2, 4};
+    const std::vector<unsigned> depths = {8, 16, 32, 64};
+
+    // The whole grid is independent: queue everything, run one batch.
+    harness.add(ProtocolKind::Palermo, Workload::Random, base,
+                "palermo/base");
+    harness.add(ProtocolKind::RingOram, Workload::Random, base,
+                "ring/base");
+    for (unsigned width : widths) {
         SystemConfig c = base;
         c.palermo.issuePerPe = width;
-        row(std::to_string(width), {palermoThroughput(c) / palermo_base});
+        harness.add(ProtocolKind::Palermo, Workload::Random, c,
+                    "palermo/issue=" + std::to_string(width));
     }
-
-    std::printf("\n(2) PosMap3 on-chip lookup latency (cycles)\n");
-    head("latency", {"Palermo(x)"});
-    for (unsigned latency : {1u, 4u, 16u, 64u}) {
+    for (unsigned latency : latencies) {
         SystemConfig c = base;
         c.palermo.posmap3Latency = latency;
-        row(std::to_string(latency),
-            {palermoThroughput(c) / palermo_base});
+        harness.add(ProtocolKind::Palermo, Workload::Random, c,
+                    "palermo/posmap3=" + std::to_string(latency));
     }
-
-    std::printf("\n(3) tree-top cache budget (scale vs default)\n");
-    head("scale", {"Palermo(x)", "Ring(x)"});
-    for (unsigned scale : {0u, 1u, 4u, 16u}) {
+    for (unsigned scale : scales) {
         SystemConfig c = base;
         for (auto &bytes : c.protocol.treetopBytes)
             bytes *= scale;
+        harness.add(ProtocolKind::Palermo, Workload::Random, c,
+                    "palermo/treetop=" + std::to_string(scale) + "x");
+        harness.add(ProtocolKind::RingOram, Workload::Random, c,
+                    "ring/treetop=" + std::to_string(scale) + "x");
+    }
+    {
+        SystemConfig slow = base;
+        slow.dram.timing = ddr4_2400();
+        harness.add(ProtocolKind::Palermo, Workload::Random, slow,
+                    "palermo/ddr4-2400");
+        harness.add(ProtocolKind::RingOram, Workload::Random, slow,
+                    "ring/ddr4-2400");
+    }
+    for (unsigned channels : channel_counts) {
+        SystemConfig c = base;
+        c.dram.org.channels = channels;
+        harness.add(ProtocolKind::Palermo, Workload::Random, c,
+                    "palermo/ch=" + std::to_string(channels));
+        harness.add(ProtocolKind::RingOram, Workload::Random, c,
+                    "ring/ch=" + std::to_string(channels));
+    }
+    for (unsigned depth : depths) {
+        SystemConfig c = base;
+        c.dram.queueDepth = depth;
+        harness.add(ProtocolKind::Palermo, Workload::Random, c,
+                    "palermo/qdepth=" + std::to_string(depth));
+    }
+    harness.run();
+
+    const double palermo_base = throughput(harness, "palermo/base");
+    const double ring_base = throughput(harness, "ring/base");
+    std::printf("\nbaselines: Palermo %.3f, RingORAM %.3f "
+                "misses/kilocycle (%.2fx)\n",
+                palermo_base, ring_base, palermo_base / ring_base);
+    harness.derived("palermo_over_ring", palermo_base / ring_base);
+
+    std::printf("\n(1) per-PE issue width (DRAM enqueues/cycle)\n");
+    head("width", {"Palermo(x)"});
+    for (unsigned width : widths)
+        row(std::to_string(width),
+            {throughput(harness, "palermo/issue=" + std::to_string(width))
+             / palermo_base});
+
+    std::printf("\n(2) PosMap3 on-chip lookup latency (cycles)\n");
+    head("latency", {"Palermo(x)"});
+    for (unsigned latency : latencies)
+        row(std::to_string(latency),
+            {throughput(harness,
+                        "palermo/posmap3=" + std::to_string(latency))
+             / palermo_base});
+
+    std::printf("\n(3) tree-top cache budget (scale vs default)\n");
+    head("scale", {"Palermo(x)", "Ring(x)"});
+    for (unsigned scale : scales) {
+        const std::string suffix =
+            "treetop=" + std::to_string(scale) + "x";
         row(std::to_string(scale) + "x",
-            {palermoThroughput(c) / palermo_base,
-             ringThroughput(c) / ring_base});
+            {throughput(harness, "palermo/" + suffix) / palermo_base,
+             throughput(harness, "ring/" + suffix) / ring_base});
     }
 
     std::printf("\n(4) DRAM configuration\n");
     head("dram", {"Palermo(x)", "Ring(x)"});
-    {
-        SystemConfig slow = base;
-        slow.dram.timing = ddr4_2400();
-        row("ddr4-2400", {palermoThroughput(slow) / palermo_base,
-                          ringThroughput(slow) / ring_base});
-    }
-    for (unsigned channels : {1u, 2u, 4u}) {
-        SystemConfig c = base;
-        c.dram.org.channels = channels;
+    row("ddr4-2400",
+        {throughput(harness, "palermo/ddr4-2400") / palermo_base,
+         throughput(harness, "ring/ddr4-2400") / ring_base});
+    for (unsigned channels : channel_counts) {
         char label[16];
         std::snprintf(label, sizeof(label), "%u-chan", channels);
-        row(label, {palermoThroughput(c) / palermo_base,
-                    ringThroughput(c) / ring_base});
+        const std::string suffix = "ch=" + std::to_string(channels);
+        row(label,
+            {throughput(harness, "palermo/" + suffix) / palermo_base,
+             throughput(harness, "ring/" + suffix) / ring_base});
     }
 
     std::printf("\n(5) memory-controller queue depth\n");
     head("depth", {"Palermo(x)"});
-    for (unsigned depth : {8u, 16u, 32u, 64u}) {
-        SystemConfig c = base;
-        c.dram.queueDepth = depth;
+    for (unsigned depth : depths)
         row(std::to_string(depth),
-            {palermoThroughput(c) / palermo_base});
-    }
+            {throughput(harness,
+                        "palermo/qdepth=" + std::to_string(depth))
+             / palermo_base});
 
     std::printf("\n(takeaway: Palermo's gain needs concurrency plumbing "
                 "-- issue width, queue depth, channels -- while the\n"
                 " serial baseline barely responds to them: the protocol "
                 "dependencies, not the memory system, were the wall.)\n");
-    return 0;
+    return harness.finish();
 }

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
 #include "oram/path_oram.hh"
@@ -16,6 +17,7 @@
 #include "sim/experiment.hh"
 
 using namespace palermo;
+using namespace palermo::bench;
 
 namespace {
 
@@ -36,9 +38,10 @@ opsPerAccess(Protocol &oram, std::uint64_t space, int n)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    Harness harness(argc, argv, "bench_access_counts");
     std::printf("====================================================\n");
     std::printf("S-II audit -- DRAM accesses per LLC miss (16 GB "
                 "protected space, Table III)\n");
@@ -60,17 +63,31 @@ main()
     std::printf("%-12s%18.1f\n", "RingORAM", ring_ops);
     std::printf("RingORAM reduction: %.1f%%\n",
                 (1.0 - ring_ops / path_ops) * 100);
+    harness.derived("accesses_per_miss/path", path_ops);
+    harness.derived("accesses_per_miss/ring", ring_ops);
+    harness.derived("ring_reduction", 1.0 - ring_ops / path_ops);
 
     std::printf("\nend-to-end check at bench geometry "
                 "(paper S-III-E: Ring only ~10%% faster than Path "
                 "despite the traffic cut):\n");
     SystemConfig sys = SystemConfig::benchDefault();
     sys.totalRequests = std::min<std::uint64_t>(sys.totalRequests, 1200);
-    const RunMetrics pm =
-        runExperiment(ProtocolKind::PathOram, Workload::Mcf, sys);
-    const RunMetrics rm =
-        runExperiment(ProtocolKind::RingOram, Workload::Mcf, sys);
+    harness.add(ProtocolKind::PathOram, Workload::Mcf, sys, "path/mcf");
+    harness.add(ProtocolKind::RingOram, Workload::Mcf, sys, "ring/mcf");
+    harness.run();
+    const double end_to_end = speedupOver(harness.metrics("path/mcf"),
+                                          harness.metrics("ring/mcf"));
     std::printf("RingORAM speedup over PathORAM (mcf): %.2fx\n",
-                speedupOver(pm, rm));
-    return 0;
+                end_to_end);
+    harness.derived("ring_end_to_end_speedup", end_to_end);
+
+    // The access-count audit itself is a sanity check: RingORAM must
+    // actually reduce per-miss traffic or the model is broken.
+    if (!(path_ops > 0.0) || !(ring_ops > 0.0) || ring_ops >= path_ops) {
+        std::fprintf(stderr, "bench_access_counts: SANITY: RingORAM "
+                             "traffic not below PathORAM\n");
+        harness.finish();
+        return 1;
+    }
+    return harness.finish();
 }

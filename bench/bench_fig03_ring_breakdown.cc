@@ -7,6 +7,7 @@
  */
 
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hh"
 #include "sim/experiment.hh"
@@ -15,9 +16,10 @@ using namespace palermo;
 using namespace palermo::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    Harness harness(argc, argv, "bench_fig03");
     SystemConfig config = SystemConfig::benchDefault();
     banner("Fig. 3 -- RingORAM bandwidth utilization and cycle breakdown",
            "BW utilization < 30% on all workloads; ORAM-sync ~72.4% of "
@@ -25,17 +27,19 @@ main()
            config);
 
     const std::vector<Workload> workloads = deepDiveWorkloads();
+    for (Workload workload : workloads)
+        harness.add(ProtocolKind::RingOram, workload, config,
+                    std::string("ring/") + workloadName(workload));
+    harness.run();
 
     std::printf("\n(a) DRAM bandwidth utilization (paper: 21-30%%)\n");
     head("workload", {"bw-util%", "out.reqs", "rowhit%"});
-    std::vector<RunMetrics> results;
     for (Workload workload : workloads) {
-        const RunMetrics m =
-            runExperiment(ProtocolKind::RingOram, workload, config);
+        const RunMetrics &m =
+            harness.metrics(std::string("ring/") + workloadName(workload));
         row(workloadName(workload),
             {m.bwUtilization * 100, m.avgOutstanding,
              m.rowHitRate * 100});
-        results.push_back(m);
     }
 
     std::printf("\n(b) Memory cycle breakdown, averaged over workloads "
@@ -43,27 +47,31 @@ main()
                 "sync total 72.4%%)\n");
     head("component", {"dram%", "sync%", "total%"});
     const char *names[kHierLevels] = {"data", "Pos1", "Pos2"};
+    const std::vector<RunRecord> &results = harness.records();
     double sync_total = 0.0;
     for (unsigned level = 0; level < kHierLevels; ++level) {
         double dram = 0.0;
         double sync = 0.0;
-        for (const RunMetrics &m : results) {
-            dram += m.levelDramShare[level] * 100 / results.size();
-            sync += m.levelSyncShare[level] * 100 / results.size();
+        for (const RunRecord &r : results) {
+            dram += r.metrics.levelDramShare[level] * 100
+                / results.size();
+            sync += r.metrics.levelSyncShare[level] * 100
+                / results.size();
         }
         row(names[level], {dram, sync, dram + sync});
         sync_total += sync;
     }
     std::printf("%-14s%10s%10.2f\n", "ORAM-sync", "", sync_total);
+    harness.derived("sync_total_pct", sync_total);
 
     std::printf("\n(S3-A) analytical cross-check\n");
     double occupancy = 0.0;
     double rowhit = 0.0;
     double latency = 0.0;
-    for (const RunMetrics &m : results) {
-        occupancy += m.avgOutstanding / results.size();
-        rowhit += m.rowHitRate / results.size();
-        latency += m.avgReadLatency / results.size();
+    for (const RunRecord &r : results) {
+        occupancy += r.metrics.avgOutstanding / results.size();
+        rowhit += r.metrics.rowHitRate / results.size();
+        latency += r.metrics.avgReadLatency / results.size();
     }
     // Paper §III-A: BW ~ 64B x occupancy / avg-latency.
     const double analytic_bw = 64.0 * occupancy
@@ -75,5 +83,8 @@ main()
     std::printf("analytic bandwidth        : %.1f GB/s of %.1f GB/s "
                 "peak (paper: 28.8 of 102.4)\n",
                 analytic_bw, 102.4);
-    return 0;
+    harness.derived("avg_queue_occupancy", occupancy);
+    harness.derived("row_hit_fraction", rowhit);
+    harness.derived("analytic_bw_gbps", analytic_bw);
+    return harness.finish();
 }

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hh"
 #include "sim/experiment.hh"
@@ -17,9 +18,10 @@ using namespace palermo;
 using namespace palermo::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    Harness harness(argc, argv, "bench_fig04");
     SystemConfig config = SystemConfig::benchDefault();
     // The Fig. 4 experiment models a 1024-entry stash and no dynamic
     // throttle (it sweeps the raw forced-prefetch behavior).
@@ -30,19 +32,14 @@ main()
            "pf=4 (PrORAM); LAORAM capped ~3.2x",
            config);
 
-    const RunMetrics base =
-        runExperiment(ProtocolKind::PrOram, Workload::Stream, [&] {
-            SystemConfig c = config;
-            c.protocol.prefetchLen = 1;
-            return c;
-        }());
-
-    std::printf("\n%-10s%14s%14s%14s%14s\n", "pf", "PrORAM(x)",
-                "PrORAM-dummy%", "LAORAM(x)", "LAORAM-dummy%");
-    std::printf("%-10s%14.2f%14.1f%14.2f%14.1f\n", "nopf", 1.0,
-                base.dummyRatio * 100, 1.0, base.dummyRatio * 100);
-
-    for (unsigned pf : {2u, 4u, 8u, 16u}) {
+    const std::vector<unsigned> lengths = {2, 4, 8, 16};
+    {
+        SystemConfig base_config = config;
+        base_config.protocol.prefetchLen = 1;
+        harness.add(ProtocolKind::PrOram, Workload::Stream, base_config,
+                    "pr/stm/nopf");
+    }
+    for (unsigned pf : lengths) {
         SystemConfig pr_config = config;
         pr_config.protocol.prefetchLen = pf;
         pr_config.protocol.fatTree = false;
@@ -52,21 +49,37 @@ main()
         // the multiplier is capped to bound bench runtime.
         pr_config.totalRequests =
             config.totalRequests * std::min(pf, 4u);
-        const RunMetrics pr =
-            runExperiment(ProtocolKind::PrOram, Workload::Stream,
-                          pr_config);
+        // Forced prefetch without the throttle is *meant* to pressure
+        // the stash (that is the figure); exempt it from the overflow
+        // sanity gate.
+        harness.add(ProtocolKind::PrOram, Workload::Stream, pr_config,
+                    "pr/stm/pf=" + std::to_string(pf),
+                    /*allow_stash_overflow=*/true);
 
         SystemConfig la_config = pr_config;
         la_config.protocol.fatTree = true;
-        const RunMetrics la =
-            runExperiment(ProtocolKind::PrOram, Workload::Stream,
-                          la_config);
+        harness.add(ProtocolKind::PrOram, Workload::Stream, la_config,
+                    "la/stm/pf=" + std::to_string(pf),
+                    /*allow_stash_overflow=*/true);
+    }
+    harness.run();
 
+    const RunMetrics &base = harness.metrics("pr/stm/nopf");
+    std::printf("\n%-10s%14s%14s%14s%14s\n", "pf", "PrORAM(x)",
+                "PrORAM-dummy%", "LAORAM(x)", "LAORAM-dummy%");
+    std::printf("%-10s%14.2f%14.1f%14.2f%14.1f\n", "nopf", 1.0,
+                base.dummyRatio * 100, 1.0, base.dummyRatio * 100);
+
+    for (unsigned pf : lengths) {
+        const RunMetrics &pr =
+            harness.metrics("pr/stm/pf=" + std::to_string(pf));
+        const RunMetrics &la =
+            harness.metrics("la/stm/pf=" + std::to_string(pf));
         std::printf("pf=%-7u%14.2f%14.1f%14.2f%14.1f\n", pf,
                     speedupOver(base, pr), pr.dummyRatio * 100,
                     speedupOver(base, la), la.dummyRatio * 100);
     }
     std::printf("\n(PrORAM column: plain prefetch; LAORAM column: "
                 "prefetch + fat tree. Higher dummy%% caps speedup.)\n");
-    return 0;
+    return harness.finish();
 }

@@ -8,6 +8,7 @@
  */
 
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hh"
 #include "security/mutual_info.hh"
@@ -18,9 +19,10 @@ using namespace palermo;
 using namespace palermo::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    Harness harness(argc, argv, "bench_fig09");
     SystemConfig config = SystemConfig::benchDefault();
     config.constantRate = true;
     config.issueInterval = 280; // Slightly above the mean service rate.
@@ -31,14 +33,22 @@ main()
            "every workload; mutual information ~0",
            config);
 
+    for (Workload workload : deepDiveWorkloads())
+        harness.add(ProtocolKind::Palermo, workload, config,
+                    std::string("palermo/") + workloadName(workload));
+    harness.run();
+
     std::printf("\n%-10s%12s%12s%12s%12s%12s%14s\n", "workload",
                 "lat-p10", "lat-p50", "lat-p90", "rowhit%", "conflict%",
                 "MutualInfo");
     for (Workload workload : deepDiveWorkloads()) {
-        const RunMetrics m =
-            runExperiment(ProtocolKind::Palermo, workload, config);
+        const RunMetrics &m = harness.metrics(
+            std::string("palermo/") + workloadName(workload));
         const double mi = m.samples.empty()
             ? 0.0 : mutualInformationOf(m.samples);
+        harness.derived(std::string("mutual_info/")
+                            + workloadName(workload),
+                        mi);
         std::printf("%-10s%12.0f%12.0f%12.0f%12.2f%12.2f%14.6f\n",
                     workloadName(workload), m.latency.quantile(0.10),
                     m.latency.quantile(0.50), m.latency.quantile(0.90),
@@ -46,8 +56,7 @@ main()
     }
 
     std::printf("\nTable I attacker model detail (llm):\n");
-    const RunMetrics llm =
-        runExperiment(ProtocolKind::Palermo, Workload::Llm, config);
+    const RunMetrics &llm = harness.metrics("palermo/llm");
     const AttackerModel model = fitAttackerModel(llm.samples);
     std::printf("p1 = P(longer | stash) = %.3f over %zu samples\n",
                 model.p1, model.stashSamples);
@@ -58,5 +67,10 @@ main()
                 mutualInformation(model.p1, model.p2));
     std::printf("\n(M ~ 0: the attacker's best timing-threshold guess "
                 "gains nothing about stash hits.)\n");
-    return 0;
+    harness.derived("attacker_p1", model.p1);
+    harness.derived("attacker_p2", model.p2);
+    harness.derived("attacker_median_latency", model.median);
+    harness.derived("equation1_m",
+                    mutualInformation(model.p1, model.p2));
+    return harness.finish();
 }

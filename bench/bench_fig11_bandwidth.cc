@@ -7,6 +7,7 @@
  */
 
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hh"
 #include "sim/experiment.hh"
@@ -15,25 +16,34 @@ using namespace palermo;
 using namespace palermo::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    Harness harness(argc, argv, "bench_fig11");
     const SystemConfig config = SystemConfig::benchDefault();
     banner("Fig. 11 -- bandwidth utilization & outstanding requests",
            "Palermo vs RingORAM (no prefetch): ~2.8x outstanding, "
            "~2.2x bandwidth utilization",
            config);
 
+    const auto workloads = deepDiveWorkloads();
+    for (Workload workload : workloads) {
+        harness.add(ProtocolKind::RingOram, workload, config,
+                    std::string("ring/") + workloadName(workload));
+        harness.add(ProtocolKind::Palermo, workload, config,
+                    std::string("palermo/") + workloadName(workload));
+    }
+    harness.run();
+
     std::printf("\n%-10s%14s%14s%14s%14s\n", "workload", "Ring-bw%",
                 "Palermo-bw%", "Ring-outst", "Palermo-outst");
     double bw_ratio = 0.0;
     double out_ratio = 0.0;
-    const auto workloads = deepDiveWorkloads();
     for (Workload workload : workloads) {
-        const RunMetrics ring =
-            runExperiment(ProtocolKind::RingOram, workload, config);
-        const RunMetrics palermo =
-            runExperiment(ProtocolKind::Palermo, workload, config);
+        const RunMetrics &ring =
+            harness.metrics(std::string("ring/") + workloadName(workload));
+        const RunMetrics &palermo = harness.metrics(
+            std::string("palermo/") + workloadName(workload));
         std::printf("%-10s%14.1f%14.1f%14.1f%14.1f\n",
                     workloadName(workload), ring.bwUtilization * 100,
                     palermo.bwUtilization * 100, ring.avgOutstanding,
@@ -47,5 +57,7 @@ main()
                 out_ratio);
     std::printf("bandwidth-utilization ratio: %.2fx (paper: 2.2x)\n",
                 bw_ratio);
-    return 0;
+    harness.derived("outstanding_ratio", out_ratio);
+    harness.derived("bw_utilization_ratio", bw_ratio);
+    return harness.finish();
 }

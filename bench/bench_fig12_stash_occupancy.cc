@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hh"
 #include "sim/experiment.hh"
@@ -16,9 +17,10 @@ using namespace palermo;
 using namespace palermo::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    Harness harness(argc, argv, "bench_fig12");
     SystemConfig config = SystemConfig::benchDefault();
     config.totalRequests = std::max<std::uint64_t>(
         config.totalRequests, 4000);
@@ -27,11 +29,16 @@ main()
            "(paper: 228-237)",
            config);
 
+    for (Workload workload : deepDiveWorkloads())
+        harness.add(ProtocolKind::Palermo, workload, config,
+                    std::string("palermo/") + workloadName(workload));
+    harness.run();
+
     std::printf("\n%-10s%12s%12s%12s%12s%12s\n", "workload", "samp-p25",
                 "samp-p50", "samp-p75", "max", "capacity");
     for (Workload workload : deepDiveWorkloads()) {
-        const RunMetrics m =
-            runExperiment(ProtocolKind::Palermo, workload, config);
+        const RunMetrics &m = harness.metrics(
+            std::string("palermo/") + workloadName(workload));
         std::vector<std::size_t> samples = m.stashSamples;
         std::sort(samples.begin(), samples.end());
         const auto pct = [&](double p) {
@@ -49,5 +56,5 @@ main()
     }
     std::printf("\n(every sample is the window high-watermark over 1%% "
                 "of served requests)\n");
-    return 0;
+    return harness.finish();
 }

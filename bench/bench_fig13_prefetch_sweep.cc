@@ -8,6 +8,7 @@
  */
 
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hh"
 #include "sim/experiment.hh"
@@ -16,30 +17,45 @@ using namespace palermo;
 using namespace palermo::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    Harness harness(argc, argv, "bench_fig13");
     const SystemConfig config = SystemConfig::benchDefault();
     banner("Fig. 13 -- Palermo prefetch-length sensitivity",
            "insensitive for moderate-locality workloads; row-sized pf "
            "maximizes embedding workloads; always above PathORAM",
            config);
 
-    std::printf("\n%-10s%12s%12s%12s%12s (x over PathORAM)\n",
-                "workload", "nopf", "pf=2", "pf=4", "pf=8");
+    const std::vector<unsigned> lengths = {1, 2, 4, 8};
     for (Workload workload : deepDiveWorkloads()) {
-        const RunMetrics path_base =
-            runExperiment(ProtocolKind::PathOram, workload, config);
-        std::printf("%-10s", workloadName(workload));
-        for (unsigned pf : {1u, 2u, 4u, 8u}) {
+        harness.add(ProtocolKind::PathOram, workload, config,
+                    std::string("path/") + workloadName(workload));
+        for (unsigned pf : lengths) {
             SystemConfig c = config;
             c.protocol.prefetchLen = pf;
             const ProtocolKind kind = pf == 1
                 ? ProtocolKind::Palermo : ProtocolKind::PalermoPrefetch;
-            const RunMetrics m = runExperiment(kind, workload, c);
+            harness.add(kind, workload, c,
+                        std::string("palermo/") + workloadName(workload)
+                            + "/pf=" + std::to_string(pf));
+        }
+    }
+    harness.run();
+
+    std::printf("\n%-10s%12s%12s%12s%12s (x over PathORAM)\n",
+                "workload", "nopf", "pf=2", "pf=4", "pf=8");
+    for (Workload workload : deepDiveWorkloads()) {
+        const RunMetrics &path_base =
+            harness.metrics(std::string("path/") + workloadName(workload));
+        std::printf("%-10s", workloadName(workload));
+        for (unsigned pf : lengths) {
+            const RunMetrics &m = harness.metrics(
+                std::string("palermo/") + workloadName(workload)
+                + "/pf=" + std::to_string(pf));
             std::printf("%11.2fx", speedupOver(path_base, m));
         }
         std::printf("\n");
     }
-    return 0;
+    return harness.finish();
 }

@@ -8,6 +8,7 @@
  */
 
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hh"
 #include "sim/experiment.hh"
@@ -16,56 +17,72 @@ using namespace palermo;
 using namespace palermo::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    Harness harness(argc, argv, "bench_fig14");
     const SystemConfig config = SystemConfig::benchDefault();
     banner("Fig. 14 -- sensitivity to (Z, S, A) and PE count",
            "(a) larger (Z,S,A) up to ~1.8x over (4,5,3); "
            "(b) 3x8 PEs ~2.2x over 3x1, then saturates",
            config);
 
-    std::printf("\n(a) (Z, S, A) sweep on rand, Palermo, vs (4,5,3)\n");
     struct Zsa
     {
         unsigned z, s, a;
     };
     const Zsa points[] = {{4, 5, 3}, {8, 12, 8}, {16, 27, 20},
                           {32, 56, 42}};
-    double base_throughput = 0.0;
-    std::printf("%-14s%14s%14s\n", "(Z,S,A)", "speedup(x)",
-                "stash-max");
+    const std::vector<unsigned> columns = {1, 2, 4, 8, 16, 32};
+
+    const auto zsaId = [](const Zsa &p) {
+        return "palermo/rand/zsa=" + std::to_string(p.z) + ":"
+            + std::to_string(p.s) + ":" + std::to_string(p.a);
+    };
+    const auto peId = [](unsigned cols) {
+        return "palermo/rand/pe=" + std::to_string(cols);
+    };
+
     for (const Zsa &p : points) {
         SystemConfig c = config;
         c.protocol.ringZ = p.z;
         c.protocol.ringS = p.s;
         c.protocol.ringA = p.a;
-        const RunMetrics m =
-            runExperiment(ProtocolKind::Palermo, Workload::Random, c);
-        if (base_throughput == 0.0)
-            base_throughput = m.requestsPerKilocycle;
+        harness.add(ProtocolKind::Palermo, Workload::Random, c, zsaId(p));
+    }
+    for (unsigned cols : columns) {
+        SystemConfig c = config;
+        c.palermo.columns = cols;
+        harness.add(ProtocolKind::Palermo, Workload::Random, c,
+                    peId(cols));
+    }
+    harness.run();
+
+    std::printf("\n(a) (Z, S, A) sweep on rand, Palermo, vs (4,5,3)\n");
+    std::printf("%-14s%14s%14s\n", "(Z,S,A)", "speedup(x)",
+                "stash-max");
+    const double zsa_base =
+        harness.metrics(zsaId(points[0])).requestsPerKilocycle;
+    for (const Zsa &p : points) {
+        const RunMetrics &m = harness.metrics(zsaId(p));
         char label[32];
         std::snprintf(label, sizeof(label), "(%u,%u,%u)", p.z, p.s, p.a);
         std::printf("%-14s%13.2fx%14zu\n", label,
-                    m.requestsPerKilocycle / base_throughput, m.stashMax);
+                    m.requestsPerKilocycle / zsa_base, m.stashMax);
     }
 
     std::printf("\n(b) PE-column sweep on rand, vs 3x1\n");
     std::printf("%-14s%14s%14s%14s\n", "PE columns", "speedup(x)",
                 "bw-util%", "out.reqs");
-    double pe1_throughput = 0.0;
-    for (unsigned columns : {1u, 2u, 4u, 8u, 16u, 32u}) {
-        SystemConfig c = config;
-        c.palermo.columns = columns;
-        const RunMetrics m =
-            runExperiment(ProtocolKind::Palermo, Workload::Random, c);
-        if (pe1_throughput == 0.0)
-            pe1_throughput = m.requestsPerKilocycle;
+    const double pe_base =
+        harness.metrics(peId(columns[0])).requestsPerKilocycle;
+    for (unsigned cols : columns) {
+        const RunMetrics &m = harness.metrics(peId(cols));
         char label[32];
-        std::snprintf(label, sizeof(label), "3x%u", columns);
+        std::snprintf(label, sizeof(label), "3x%u", cols);
         std::printf("%-14s%13.2fx%14.1f%14.1f\n", label,
-                    m.requestsPerKilocycle / pe1_throughput,
+                    m.requestsPerKilocycle / pe_base,
                     m.bwUtilization * 100, m.avgOutstanding);
     }
-    return 0;
+    return harness.finish();
 }

@@ -6,17 +6,26 @@
  * 5.78 mm^2 and 2.14 W at 1.6 GHz, dominated by the on-chip memories.
  * Also prints the scaling the RTL flow would explore: PE columns and
  * tree-top capacity.
+ *
+ * This bench runs no simulation, so instead of metrics-v1 points its
+ * --json document carries the component table and both scaling sweeps.
  */
 
+#include <cmath>
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "power/area_power.hh"
+#include "sim/metrics_json.hh"
 
 using namespace palermo;
+using namespace palermo::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions options = parseBenchArgs(argc, argv);
+    JsonSink sink(options.jsonPath);
     std::printf("====================================================\n");
     std::printf("Fig. 15 -- Palermo controller area & power (28nm)\n");
     std::printf("paper: 5.78 mm^2, 2.14 W at 1.6 GHz\n");
@@ -32,27 +41,85 @@ main()
     std::printf("%-22s%12.3f%12.3f\n", "TOTAL", est.totalAreaMm2(),
                 est.totalPowerW());
 
+    const std::vector<unsigned> column_points = {1, 4, 8, 16, 32};
+    const std::vector<unsigned> kb_points = {192, 384, 768, 1536};
+
     std::printf("\nscaling: PE columns (3 rows each)\n");
     std::printf("%-10s%14s%14s\n", "columns", "area(mm^2)", "power(W)");
-    for (unsigned columns : {1u, 4u, 8u, 16u, 32u}) {
+    std::vector<AreaPowerEstimate> by_columns;
+    for (unsigned columns : column_points) {
         ControllerFloorplan p = plan;
         p.peColumns = columns;
-        const AreaPowerEstimate e = estimateController(p);
-        std::printf("%-10u%14.3f%14.3f\n", columns, e.totalAreaMm2(),
-                    e.totalPowerW());
+        by_columns.push_back(estimateController(p));
+        std::printf("%-10u%14.3f%14.3f\n", columns,
+                    by_columns.back().totalAreaMm2(),
+                    by_columns.back().totalPowerW());
     }
 
     std::printf("\nscaling: tree-top cache capacity (total)\n");
     std::printf("%-10s%14s%14s\n", "KB", "area(mm^2)", "power(W)");
-    for (unsigned kb : {192u, 384u, 768u, 1536u}) {
+    std::vector<AreaPowerEstimate> by_kb;
+    for (unsigned kb : kb_points) {
         ControllerFloorplan p = plan;
         p.treetopBytesTotal = static_cast<std::uint64_t>(kb) * 1024;
-        const AreaPowerEstimate e = estimateController(p);
-        std::printf("%-10u%14.3f%14.3f\n", kb, e.totalAreaMm2(),
-                    e.totalPowerW());
+        by_kb.push_back(estimateController(p));
+        std::printf("%-10u%14.3f%14.3f\n", kb,
+                    by_kb.back().totalAreaMm2(),
+                    by_kb.back().totalPowerW());
     }
 
     std::printf("\n(comparison: the Phantom FPGA controller [13,30] "
                 "runs at 200 MHz and exceeds 20 mm^2.)\n");
+
+    if (sink.enabled()) {
+        JsonWriter w;
+        w.beginObject();
+        MetricsJson::writeHeader(w, "bench_fig15",
+                                 "palermo-areapower-v1");
+        w.key("components").beginArray();
+        for (const auto &component : est.components) {
+            w.beginObject();
+            w.field("name", component.name);
+            w.field("area_mm2", component.areaMm2);
+            w.field("power_w", component.powerW);
+            w.endObject();
+        }
+        w.endArray();
+        w.field("total_area_mm2", est.totalAreaMm2());
+        w.field("total_power_w", est.totalPowerW());
+        w.key("pe_column_scaling").beginArray();
+        for (std::size_t i = 0; i < column_points.size(); ++i) {
+            w.beginObject();
+            w.field("columns", column_points[i]);
+            w.field("area_mm2", by_columns[i].totalAreaMm2());
+            w.field("power_w", by_columns[i].totalPowerW());
+            w.endObject();
+        }
+        w.endArray();
+        w.key("treetop_scaling").beginArray();
+        for (std::size_t i = 0; i < kb_points.size(); ++i) {
+            w.beginObject();
+            w.field("kb", kb_points[i]);
+            w.field("area_mm2", by_kb[i].totalAreaMm2());
+            w.field("power_w", by_kb[i].totalPowerW());
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        std::string doc = w.str();
+        doc.push_back('\n');
+        if (!sink.write(doc))
+            return 1;
+    }
+
+    // Sanity gate: the analytical model must produce positive, finite
+    // totals or downstream figures are garbage.
+    if (!std::isfinite(est.totalAreaMm2()) || est.totalAreaMm2() <= 0.0
+        || !std::isfinite(est.totalPowerW())
+        || est.totalPowerW() <= 0.0) {
+        std::fprintf(stderr,
+                     "bench_fig15: SANITY: degenerate area/power\n");
+        return 1;
+    }
     return 0;
 }

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_micro_util.hh"
+
 #include "common/rng.hh"
 #include "crypto/ctr_mode.hh"
 #include "crypto/prf.hh"
@@ -70,4 +72,8 @@ BENCHMARK(BM_PrfEval);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    return palermo::bench::microMain(argc, argv);
+}

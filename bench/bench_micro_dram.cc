@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_micro_util.hh"
+
 #include "common/rng.hh"
 #include "mem/dram_system.hh"
 
@@ -85,4 +87,8 @@ BENCHMARK(BM_AddressDecode);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    return palermo::bench::microMain(argc, argv);
+}

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_micro_util.hh"
+
 #include "common/rng.hh"
 #include "oram/palermo.hh"
 #include "oram/ring_oram.hh"
@@ -85,4 +87,8 @@ BENCHMARK(BM_StashPutTake);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    return palermo::bench::microMain(argc, argv);
+}

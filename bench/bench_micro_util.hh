@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared main() for the google-benchmark micros. Translates the
+ * repo-wide --json PATH flag into benchmark's own JSON reporter
+ * (--benchmark_out=PATH --benchmark_out_format=json) so every bench
+ * binary — figure and micro alike — answers to the same CI contract,
+ * and rejects unrecognized flags with a nonzero exit so smoke jobs
+ * catch typos.
+ */
+
+#ifndef PALERMO_BENCH_BENCH_MICRO_UTIL_HH
+#define PALERMO_BENCH_BENCH_MICRO_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+namespace palermo {
+namespace bench {
+
+/** Drop-in replacement for BENCHMARK_MAIN()'s body. */
+inline int
+microMain(int argc, char **argv)
+{
+    std::vector<std::string> storage;
+    storage.reserve(static_cast<std::size_t>(argc) + 2);
+    storage.emplace_back(argc > 0 ? argv[0] : "bench_micro");
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string path;
+        if (arg == "--json" && i + 1 < argc) {
+            path = argv[++i];
+        } else if (arg.rfind("--json=", 0) == 0) {
+            path = arg.substr(7);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            // Accepted for contract uniformity with the figure
+            // benches; micros have no design-point grid to fan out.
+            ++i;
+            continue;
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            continue;
+        } else {
+            storage.push_back(arg);
+            continue;
+        }
+        if (path == "-") {
+            // benchmark_out can't target stdout; switch the console
+            // reporter to JSON instead.
+            storage.emplace_back("--benchmark_format=json");
+        } else {
+            storage.push_back("--benchmark_out=" + path);
+            storage.emplace_back("--benchmark_out_format=json");
+        }
+    }
+
+    std::vector<char *> args;
+    args.reserve(storage.size());
+    for (std::string &arg : storage)
+        args.push_back(arg.data());
+    int count = static_cast<int>(args.size());
+
+    benchmark::Initialize(&count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(count, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace bench
+} // namespace palermo
+
+#endif // PALERMO_BENCH_BENCH_MICRO_UTIL_HH

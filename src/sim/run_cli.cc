@@ -1,0 +1,175 @@
+/**
+ * @file
+ * palermo_run flag parsing and base-config resolution.
+ */
+
+#include "sim/run_cli.hh"
+
+#include <sstream>
+
+namespace palermo {
+
+namespace {
+
+bool
+fail(std::string *error, const std::string &message)
+{
+    if (error)
+        *error = message;
+    return false;
+}
+
+} // namespace
+
+bool
+parseRunArgs(int argc, const char *const *argv, RunOptions *options,
+             std::string *error)
+{
+    RunOptions result;
+
+    int i = 0;
+    const auto nextValue = [&](const std::string &flag,
+                               std::string *value) {
+        const std::size_t eq = flag.find('=');
+        if (eq != std::string::npos) {
+            *value = flag.substr(eq + 1);
+            return true;
+        }
+        if (i + 1 >= argc)
+            return false;
+        *value = argv[++i];
+        return true;
+    };
+    const auto flagName = [](const std::string &flag) {
+        const std::size_t eq = flag.find('=');
+        return eq == std::string::npos ? flag : flag.substr(0, eq);
+    };
+
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const std::string name = flagName(arg);
+        std::string value;
+
+        if (name == "--help" || name == "-h") {
+            result.help = true;
+        } else if (name == "--list") {
+            result.listPoints = true;
+        } else if (name == "--paper") {
+            result.paperGeometry = true;
+        } else if (name == "--constant-rate") {
+            result.constantRate = true;
+        } else if (name == "--protocol") {
+            if (!nextValue(arg, &value))
+                return fail(error, "--protocol needs a name");
+            if (!protocolFromName(value, &result.protocol))
+                return fail(error, "unknown protocol '" + value + "'");
+        } else if (name == "--workload") {
+            if (!nextValue(arg, &value))
+                return fail(error, "--workload needs a name");
+            if (!tryWorkloadFromName(value, &result.workload))
+                return fail(error, "unknown workload '" + value + "'");
+        } else if (name == "--blocks") {
+            if (!nextValue(arg, &value)
+                || !parseUnsigned(value, &result.blocks)
+                || result.blocks == 0)
+                return fail(error, "--blocks needs a positive integer");
+        } else if (name == "--reqs") {
+            if (!nextValue(arg, &value)
+                || !parseUnsigned(value, &result.reqs)
+                || result.reqs == 0)
+                return fail(error, "--reqs needs a positive integer");
+        } else if (name == "--seed") {
+            if (!nextValue(arg, &value)
+                || !parseUnsigned(value, &result.seed))
+                return fail(error, "--seed needs an unsigned integer");
+            result.seedSet = true;
+        } else if (name == "--sweep") {
+            if (!nextValue(arg, &value))
+                return fail(error, "--sweep needs a grid spec");
+            if (!result.sweep.empty())
+                result.sweep.push_back(';');
+            result.sweep.append(value);
+        } else if (name == "--json") {
+            if (!nextValue(arg, &value))
+                return fail(error, "--json needs a path (or '-')");
+            result.jsonPath = value;
+        } else if (name == "--jobs" || name == "-j") {
+            std::uint64_t jobs = 0;
+            if (!nextValue(arg, &value) || !parseUnsigned(value, &jobs)
+                || jobs == 0)
+                return fail(error, "--jobs needs a positive integer");
+            result.jobs = static_cast<unsigned>(jobs);
+        } else {
+            return fail(error, "unknown flag '" + name + "'");
+        }
+    }
+
+    *options = result;
+    return true;
+}
+
+SystemConfig
+RunOptions::baseConfig() const
+{
+    SystemConfig config = paperGeometry ? SystemConfig::paperTableIII()
+                                        : SystemConfig::benchDefault();
+    if (blocks)
+        config.protocol.numBlocks = blocks;
+    if (reqs)
+        config.totalRequests = reqs;
+    if (seedSet) {
+        config.seed = seed;
+        config.protocol.seed = seed;
+    }
+    config.constantRate = constantRate;
+    return config;
+}
+
+std::vector<DesignPoint>
+RunOptions::expandPoints(std::string *error) const
+{
+    SweepSpec spec;
+    if (!SweepSpec::parse(sweep, &spec, error))
+        return {};
+    return spec.expand(protocol, workload, baseConfig());
+}
+
+std::string
+runUsage()
+{
+    std::ostringstream os;
+    os << "usage: palermo_run [options]\n"
+       << "\n"
+       << "Run one design point, or a sweep grid, and report metrics.\n"
+       << "\n"
+       << "options:\n"
+       << "  --protocol NAME   path|ring|page|pr|ir|palermo-sw|palermo|"
+          "palermo-pf\n"
+       << "                    (default: palermo)\n"
+       << "  --workload NAME   mcf|lbm|pr|graph|motif|rm1|rm2|llm|redis|"
+          "stream|random\n"
+       << "                    (default: random)\n"
+       << "  --blocks N        protected 64B lines (default: 2^18)\n"
+       << "  --reqs N          real LLC misses to simulate "
+          "(default: 2000)\n"
+       << "  --seed N          determinism seed (default: 1)\n"
+       << "  --paper           Table III 16 GB geometry instead of the\n"
+       << "                    scaled bench default\n"
+       << "  --constant-rate   fixed-interval issue with dummy padding\n"
+       << "  --sweep SPEC      grid axes: 'axis=v1,v2;axis=...' over\n"
+       << "                    protocol, workload, zsa (Z:S:A), pe,\n"
+       << "                    channels, prefetch, seed; repeatable\n"
+       << "  --jobs N          worker threads for the sweep "
+          "(default: 1)\n"
+       << "  --json PATH       write palermo-metrics-v1 JSON "
+          "('-' = stdout)\n"
+       << "  --list            print the expanded grid and exit\n"
+       << "  --help            this text\n"
+       << "\n"
+       << "example:\n"
+       << "  palermo_run --protocol palermo --workload graph \\\n"
+       << "      --sweep prefetch=0,4,8 --jobs 4 --json out.json\n";
+    return os.str();
+}
+
+} // namespace palermo

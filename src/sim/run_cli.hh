@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Option parsing for the palermo_run CLI (and its tests).
+ *
+ * Kept in the library (not tools/) so flag handling is unit-testable
+ * and so bench binaries share the exact same --json/--jobs semantics.
+ * Parsing never exits: errors come back as strings for the caller to
+ * report, which also lets tests probe malformed invocations.
+ */
+
+#ifndef PALERMO_SIM_RUN_CLI_HH
+#define PALERMO_SIM_RUN_CLI_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/sweep.hh"
+#include "sim/system_config.hh"
+#include "trace/trace_gen.hh"
+
+namespace palermo {
+
+/** Everything palermo_run accepts on its command line. */
+struct RunOptions
+{
+    ProtocolKind protocol = ProtocolKind::Palermo;
+    Workload workload = Workload::Random;
+
+    bool paperGeometry = false;    ///< --paper: Table III 16 GB space.
+    std::uint64_t blocks = 0;      ///< --blocks (0 = keep default).
+    std::uint64_t reqs = 0;        ///< --reqs (0 = keep default).
+    bool seedSet = false;
+    std::uint64_t seed = 0;        ///< --seed (when seedSet).
+    bool constantRate = false;     ///< --constant-rate (security mode).
+
+    std::string sweep;             ///< Joined --sweep clauses.
+    std::string jsonPath;          ///< --json PATH ("-" = stdout).
+    unsigned jobs = 1;             ///< --jobs N worker threads.
+    bool listPoints = false;       ///< --list: print grid, don't run.
+    bool help = false;             ///< --help / -h.
+
+    /** Resolve the base SystemConfig these options describe. */
+    SystemConfig baseConfig() const;
+
+    /** Expand the (possibly empty) sweep into design points. */
+    std::vector<DesignPoint> expandPoints(std::string *error) const;
+};
+
+/**
+ * Parse argv (excluding argv[0]). Flags take "--flag value" or
+ * "--flag=value" form. Returns false and fills *error on unknown
+ * flags, missing arguments, or unparseable values.
+ */
+bool parseRunArgs(int argc, const char *const *argv, RunOptions *options,
+                  std::string *error);
+
+/** Usage text for --help and parse errors. */
+std::string runUsage();
+
+} // namespace palermo
+
+#endif // PALERMO_SIM_RUN_CLI_HH

@@ -6,6 +6,8 @@
 
 #include "sim/system_config.hh"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdlib>
 #include <sstream>
 
@@ -27,6 +29,71 @@ protocolKindName(ProtocolKind kind)
       case ProtocolKind::PalermoPrefetch: return "Palermo+Prefetch";
     }
     return "?";
+}
+
+const char *
+protocolShortName(ProtocolKind kind)
+{
+    switch (kind) {
+      case ProtocolKind::PathOram: return "path";
+      case ProtocolKind::RingOram: return "ring";
+      case ProtocolKind::PageOram: return "page";
+      case ProtocolKind::PrOram: return "pr";
+      case ProtocolKind::IrOram: return "ir";
+      case ProtocolKind::PalermoSw: return "palermo-sw";
+      case ProtocolKind::Palermo: return "palermo";
+      case ProtocolKind::PalermoPrefetch: return "palermo-pf";
+    }
+    return "?";
+}
+
+const std::vector<ProtocolKind> &
+allProtocolKinds()
+{
+    static const std::vector<ProtocolKind> kinds = {
+        ProtocolKind::PathOram,  ProtocolKind::RingOram,
+        ProtocolKind::PageOram,  ProtocolKind::PrOram,
+        ProtocolKind::IrOram,    ProtocolKind::PalermoSw,
+        ProtocolKind::Palermo,   ProtocolKind::PalermoPrefetch,
+    };
+    return kinds;
+}
+
+bool
+protocolFromName(const std::string &name, ProtocolKind *kind)
+{
+    std::string low;
+    low.reserve(name.size());
+    for (char c : name)
+        low.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+
+    for (ProtocolKind k : allProtocolKinds()) {
+        if (low == protocolShortName(k)) {
+            *kind = k;
+            return true;
+        }
+    }
+    // Display names and common aliases.
+    if (low == "pathoram") {
+        *kind = ProtocolKind::PathOram;
+    } else if (low == "ringoram") {
+        *kind = ProtocolKind::RingOram;
+    } else if (low == "pageoram") {
+        *kind = ProtocolKind::PageOram;
+    } else if (low == "proram") {
+        *kind = ProtocolKind::PrOram;
+    } else if (low == "iroram" || low == "ir-oram") {
+        *kind = ProtocolKind::IrOram;
+    } else if (low == "palermosw" || low == "sw") {
+        *kind = ProtocolKind::PalermoSw;
+    } else if (low == "palermo-prefetch" || low == "palermo+prefetch"
+               || low == "palermo+pf") {
+        *kind = ProtocolKind::PalermoPrefetch;
+    } else {
+        return false;
+    }
+    return true;
 }
 
 SystemConfig

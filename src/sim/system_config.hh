@@ -8,6 +8,7 @@
 #define PALERMO_SIM_SYSTEM_CONFIG_HH
 
 #include <string>
+#include <vector>
 
 #include "controller/palermo_controller.hh"
 #include "mem/dram_system.hh"
@@ -29,6 +30,18 @@ enum class ProtocolKind
 };
 
 const char *protocolKindName(ProtocolKind kind);
+
+/** Short lowercase token used in CLI flags and JSON point ids. */
+const char *protocolShortName(ProtocolKind kind);
+
+/**
+ * Parse a protocol name (short token, display name, or common alias;
+ * case-insensitive). Returns false on unknown names.
+ */
+bool protocolFromName(const std::string &name, ProtocolKind *kind);
+
+/** All protocol kinds in Fig. 10 bar order. */
+const std::vector<ProtocolKind> &allProtocolKinds();
 
 /** Complete experiment configuration. */
 struct SystemConfig

@@ -371,18 +371,35 @@ workloadName(Workload workload)
     return "?";
 }
 
+bool
+tryWorkloadFromName(const std::string &name, Workload *workload)
+{
+    for (Workload w : allWorkloads()) {
+        if (name == workloadName(w)) {
+            *workload = w;
+            return true;
+        }
+    }
+    if (name == "stm") {
+        *workload = Workload::Stream;
+    } else if (name == "rand") {
+        *workload = Workload::Random;
+    } else if (name == "graph") {
+        // Graph-analytics locality class (power-law vertex gather).
+        *workload = Workload::PageRank;
+    } else {
+        return false;
+    }
+    return true;
+}
+
 Workload
 workloadFromName(const std::string &name)
 {
-    for (Workload w : allWorkloads()) {
-        if (name == workloadName(w))
-            return w;
-    }
-    if (name == "stm")
-        return Workload::Stream;
-    if (name == "rand")
-        return Workload::Random;
-    fatal("unknown workload '%s'", name.c_str());
+    Workload workload = Workload::Random;
+    if (!tryWorkloadFromName(name, &workload))
+        fatal("unknown workload '%s'", name.c_str());
+    return workload;
 }
 
 std::unique_ptr<TraceGen>

@@ -82,6 +82,12 @@ const char *workloadName(Workload workload);
 Workload workloadFromName(const std::string &name);
 
 /**
+ * Non-fatal parse of a short name or alias ("stm", "rand", "graph").
+ * Returns false on unknown names, leaving *workload untouched.
+ */
+bool tryWorkloadFromName(const std::string &name, Workload *workload);
+
+/**
  * Construct a generator.
  * @param workload Which Table II workload to model.
  * @param num_lines Protected-space size in 64B lines.

@@ -1,0 +1,284 @@
+/** @file Unit tests for the JsonWriter and metrics-v1 serialization. */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "sim/metrics_json.hh"
+#include "sim/sweep.hh"
+
+namespace palermo {
+namespace {
+
+/**
+ * Minimal recursive-descent JSON validator: enough grammar to prove
+ * every document the serializer emits is well-formed without pulling
+ * in a JSON library dependency.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : text_(text) {}
+
+    bool
+    valid()
+    {
+        skipSpace();
+        if (!value())
+            return false;
+        skipSpace();
+        return pos_ == text_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= text_.size())
+            return false;
+        switch (text_[pos_]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            if (!string())
+                return false;
+            skipSpace();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipSpace();
+            if (!value())
+                return false;
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            if (!value())
+                return false;
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\')
+                ++pos_;
+            ++pos_;
+        }
+        if (pos_ >= text_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size()
+               && (std::isdigit(static_cast<unsigned char>(text_[pos_]))
+                   || text_[pos_] == '-' || text_[pos_] == '+'
+                   || text_[pos_] == '.' || text_[pos_] == 'e'
+                   || text_[pos_] == 'E'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::string expect(word);
+        if (text_.compare(pos_, expect.size(), expect) != 0)
+            return false;
+        pos_ += expect.size();
+        return true;
+    }
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size()
+               && std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+RunRecord
+sampleRecord()
+{
+    RunRecord record;
+    record.point.kind = ProtocolKind::Palermo;
+    record.point.workload = Workload::PageRank;
+    record.point.config = SystemConfig::benchDefault();
+    record.point.id = "palermo/pr";
+    record.metrics.measuredRequests = 1000;
+    record.metrics.measuredCycles = 250000;
+    record.metrics.requestsPerKilocycle = 4.0;
+    record.metrics.bwUtilization = 0.61;
+    record.metrics.stashMax = 119;
+    record.metrics.stashCapacity = 256;
+    record.metrics.stashSamples = {10, 20, 119};
+    return record;
+}
+
+TEST(JsonWriter, NestedStructure)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("name", "palermo");
+    w.field("count", std::uint64_t{3});
+    w.key("values").beginArray();
+    w.value(1.5);
+    w.value(false);
+    w.endArray();
+    w.endObject();
+    const std::string text = w.str();
+    EXPECT_TRUE(JsonChecker(text).valid()) << text;
+    EXPECT_NE(text.find("\"name\": \"palermo\""), std::string::npos);
+    EXPECT_NE(text.find("1.5"), std::string::npos);
+}
+
+TEST(JsonWriter, EscapesControlCharacters)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonNumber, DeterministicShortestForm)
+{
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(1.5), "1.5");
+    EXPECT_EQ(jsonNumber(0.1), "0.1");
+    // Round-trip stability: rendering the same value twice is
+    // byte-identical (to_chars shortest form is canonical).
+    EXPECT_EQ(jsonNumber(1.0 / 3.0), jsonNumber(1.0 / 3.0));
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull)
+{
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()),
+              "null");
+}
+
+TEST(MetricsJson, DocumentIsValidJson)
+{
+    const std::string doc =
+        MetricsJson::document("test_tool", {sampleRecord()},
+                              {{"gmean/palermo", 2.4}});
+    EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+}
+
+TEST(MetricsJson, SchemaFieldsPresent)
+{
+    const std::string doc =
+        MetricsJson::document("test_tool", {sampleRecord()},
+                              {{"gmean/palermo", 2.4}});
+    // Stable-schema contract: these keys are what CI and analysis
+    // scripts key on; renaming them is a schema version bump.
+    for (const char *needle :
+         {"\"schema\": \"palermo-metrics-v1\"", "\"generator\"",
+          "\"tool\": \"test_tool\"", "\"git\"", "\"points\"",
+          "\"id\": \"palermo/pr\"", "\"protocol\": \"Palermo\"",
+          "\"workload\": \"pr\"", "\"seed\"", "\"config\"",
+          "\"metrics\"", "\"requests_per_kilocycle\"", "\"stash\"",
+          "\"overflowed\"", "\"latency\"", "\"derived\"",
+          "\"gmean/palermo\": 2.4"}) {
+        EXPECT_NE(doc.find(needle), std::string::npos)
+            << "missing " << needle;
+    }
+}
+
+TEST(MetricsJson, SerializationIsDeterministic)
+{
+    const RunRecord record = sampleRecord();
+    const std::string a = MetricsJson::document("tool", {record});
+    const std::string b = MetricsJson::document("tool", {record});
+    EXPECT_EQ(a, b);
+}
+
+TEST(MetricsJson, DerivedMapSortedByKey)
+{
+    const std::string doc = MetricsJson::document(
+        "tool", {}, {{"zeta", 1.0}, {"alpha", 2.0}, {"mid", 3.0}});
+    const std::size_t alpha = doc.find("\"alpha\"");
+    const std::size_t mid = doc.find("\"mid\"");
+    const std::size_t zeta = doc.find("\"zeta\"");
+    ASSERT_NE(alpha, std::string::npos);
+    ASSERT_NE(mid, std::string::npos);
+    ASSERT_NE(zeta, std::string::npos);
+    EXPECT_LT(alpha, mid);
+    EXPECT_LT(mid, zeta);
+}
+
+TEST(MetricsJson, EmptyDocumentStillValid)
+{
+    const std::string doc = MetricsJson::document("tool", {});
+    EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+    EXPECT_NE(doc.find("\"points\": []"), std::string::npos);
+}
+
+} // namespace
+} // namespace palermo

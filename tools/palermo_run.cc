@@ -1,0 +1,86 @@
+/**
+ * @file
+ * palermo_run: the one entry point for ad-hoc experiments.
+ *
+ * Expands a declarative design-point grid (or a single point), runs it
+ * on a thread pool, prints a compact table, and optionally writes the
+ * palermo-metrics-v1 JSON document CI and analysis scripts consume.
+ * Exit status: 0 on success, 1 when any point fails the sanity gate
+ * (stash overflow, degenerate measurement) or the JSON cannot be
+ * written, 2 on usage errors.
+ */
+
+#include <cstdio>
+
+#include "common/log.hh"
+#include "sim/metrics_json.hh"
+#include "sim/run_cli.hh"
+#include "sim/sweep.hh"
+
+using namespace palermo;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+
+    RunOptions options;
+    std::string error;
+    if (!parseRunArgs(argc - 1, argv + 1, &options, &error)) {
+        std::fprintf(stderr, "palermo_run: %s\n\n%s", error.c_str(),
+                     runUsage().c_str());
+        return 2;
+    }
+    if (options.help) {
+        std::fputs(runUsage().c_str(), stdout);
+        return 0;
+    }
+
+    const std::vector<DesignPoint> points = options.expandPoints(&error);
+    if (points.empty()) {
+        std::fprintf(stderr, "palermo_run: %s\n", error.c_str());
+        return 2;
+    }
+
+    if (options.listPoints) {
+        for (const DesignPoint &point : points)
+            std::printf("%s\n", point.id.c_str());
+        return 0;
+    }
+
+    const std::vector<RunRecord> records =
+        SweepRunner(options.jobs).run(points);
+
+    // With --json -, stdout carries pure JSON; the table moves to
+    // stderr so pipelines like `palermo_run --json - | jq` work.
+    std::FILE *table =
+        options.jsonPath == "-" ? stderr : stdout;
+    std::fprintf(table, "%-40s%12s%10s%10s%10s%12s\n", "point",
+                 "req/kcyc", "bw-util%", "rowhit%", "lat-p50", "stash");
+    for (const RunRecord &record : records) {
+        const RunMetrics &m = record.metrics;
+        char stash[32];
+        std::snprintf(stash, sizeof(stash), "%zu/%zu%s", m.stashMax,
+                      m.stashCapacity, m.stashOverflowed ? "!" : "");
+        std::fprintf(table, "%-40s%12.3f%10.1f%10.1f%10.0f%12s\n",
+                     record.point.id.c_str(), m.requestsPerKilocycle,
+                     m.bwUtilization * 100, m.rowHitRate * 100,
+                     m.latency.quantile(0.50), stash);
+    }
+
+    bool ok = true;
+    if (!options.jsonPath.empty()) {
+        const std::string doc =
+            MetricsJson::document("palermo_run", records);
+        ok = MetricsJson::writeFile(options.jsonPath, doc);
+    }
+
+    std::vector<std::string> problems;
+    if (!sanityCheck(records, &problems)) {
+        ok = false;
+        for (const std::string &problem : problems)
+            std::fprintf(stderr, "palermo_run: SANITY: %s\n",
+                         problem.c_str());
+    }
+    return ok ? 0 : 1;
+}
