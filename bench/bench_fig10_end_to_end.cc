@@ -59,7 +59,8 @@ main(int argc, char **argv)
     // probe grid (the paper sweeps pf per workload and keeps the best).
     for (Workload workload : allWorkloads()) {
         harness.add(ProtocolKind::PathOram, workload, config,
-                    pointId("path", workload));
+                    pointId(protocolShortName(ProtocolKind::PathOram),
+                            workload));
         // Aggressive prefetch lengths overflow PrORAM's stash — the
         // stash-pressure behavior the paper criticizes (§III-B, Fig. 4)
         // — so the probe grid is exempt from the overflow gate.
@@ -86,41 +87,34 @@ main(int argc, char **argv)
         best_pf[workload] = best;
     }
 
+    // The non-baseline bars, straight from the registry's Fig. 10
+    // order: adding a protocol to the registry adds its bar here.
+    std::vector<ProtocolKind> bars;
+    for (ProtocolKind kind : allProtocolKinds())
+        if (kind != ProtocolKind::PathOram)
+            bars.push_back(kind);
+
     // Batch 2: every remaining Fig. 10 bar. Palermo+Prefetch uses the
     // pf PrORAM picked, so both see identical LLC-miss traffic.
     for (Workload workload : allWorkloads()) {
-        harness.add(ProtocolKind::RingOram, workload, config,
-                    pointId("ring", workload));
-        harness.add(ProtocolKind::PageOram, workload, config,
-                    pointId("page", workload));
-        harness.add(ProtocolKind::IrOram, workload, config,
-                    pointId("ir", workload));
-        harness.add(ProtocolKind::PalermoSw, workload, config,
-                    pointId("palermo-sw", workload));
-        harness.add(ProtocolKind::Palermo, workload, config,
-                    pointId("palermo", workload));
-        SystemConfig pf_config = config;
-        pf_config.protocol.prefetchLen = best_pf[workload];
-        harness.add(ProtocolKind::PalermoPrefetch, workload, pf_config,
-                    pointId("palermo-pf", workload, best_pf[workload]));
+        for (ProtocolKind kind : bars) {
+            if (kind == ProtocolKind::PrOram)
+                continue; // Probed in batch 1.
+            SystemConfig point_config = config;
+            unsigned pf = 0;
+            if (kind == ProtocolKind::PalermoPrefetch) {
+                pf = best_pf[workload];
+                point_config.protocol.prefetchLen = pf;
+            }
+            harness.add(kind, workload, point_config,
+                        pointId(protocolShortName(kind), workload, pf));
+        }
     }
     harness.run();
 
-    struct Bar
-    {
-        const char *name;
-        const char *proto;
-    };
-    const Bar bars[] = {
-        {"RingORAM", "ring"},       {"PageORAM", "page"},
-        {"PrORAM", "pr"},           {"IR-ORAM", "ir"},
-        {"Palermo-SW", "palermo-sw"}, {"Palermo", "palermo"},
-        {"Palermo+Pf", "palermo-pf"},
-    };
-
     std::printf("\n%-10s", "workload");
-    for (const Bar &bar : bars)
-        std::printf("%12s", bar.name);
+    for (ProtocolKind kind : bars)
+        std::printf("%12s", protocolShortName(kind));
     std::printf("%8s\n", "pf");
 
     std::map<std::string, std::vector<double>> speedups;
@@ -132,29 +126,37 @@ main(int argc, char **argv)
             harness.metrics(pointId("path", workload));
         const unsigned pf = best_pf[workload];
         std::printf("%-10s", workloadName(workload));
-        for (const Bar &bar : bars) {
-            std::string id = pointId(bar.proto, workload);
-            if (std::string(bar.proto) == "pr"
-                || std::string(bar.proto) == "palermo-pf")
-                id = pointId(bar.proto, workload, pf);
+        for (ProtocolKind kind : bars) {
+            const char *proto = protocolShortName(kind);
+            std::string id = pointId(proto, workload);
+            if (kind == ProtocolKind::PrOram
+                || kind == ProtocolKind::PalermoPrefetch)
+                id = pointId(proto, workload, pf);
             const RunMetrics &m = harness.metrics(id);
             const double speedup = speedupOver(path_base, m);
-            speedups[bar.name].push_back(speedup);
+            speedups[proto].push_back(speedup);
             std::printf("%11.2fx", speedup);
         }
         std::printf("%8u\n", pf);
         palermo_misses_per_s +=
-            harness.metrics(pointId("palermo", workload)).missesPerSecond
+            harness
+                .metrics(pointId(
+                    protocolShortName(ProtocolKind::Palermo), workload))
+                .missesPerSecond
             / 10;
         ring_misses_per_s +=
-            harness.metrics(pointId("ring", workload)).missesPerSecond
+            harness
+                .metrics(pointId(
+                    protocolShortName(ProtocolKind::RingOram), workload))
+                .missesPerSecond
             / 10;
     }
 
     std::printf("%-10s", "gmean");
-    for (const Bar &bar : bars) {
-        const double gm = geomean(speedups[bar.name]);
-        harness.derived(std::string("gmean/") + bar.proto, gm);
+    for (ProtocolKind kind : bars) {
+        const char *proto = protocolShortName(kind);
+        const double gm = geomean(speedups[proto]);
+        harness.derived(std::string("gmean/") + proto, gm);
         std::printf("%11.2fx", gm);
     }
     std::printf("\n");

@@ -20,6 +20,7 @@
 
 #include "common/log.hh"
 #include "sim/metrics_json.hh"
+#include "sim/protocol_registry.hh"
 #include "sim/sweep.hh"
 #include "sim/system_config.hh"
 #include "trace/trace_gen.hh"
@@ -207,7 +208,9 @@ class Harness
         point.index = records_.size() + pending_.size();
         point.kind = kind;
         point.workload = workload;
-        point.config = config;
+        // Record what will actually run (capability clamp + the
+        // descriptor's config-adjust hook), not the caller's copy.
+        point.config = normalizedProtocolConfig(kind, config);
         point.id = id;
         point.allowStashOverflow = allow_stash_overflow;
         pending_.push_back(std::move(point));

@@ -27,15 +27,12 @@ namespace {
 ProtocolKind
 parseKind(const std::string &name)
 {
-    if (name == "path") return ProtocolKind::PathOram;
-    if (name == "ring") return ProtocolKind::RingOram;
-    if (name == "page") return ProtocolKind::PageOram;
-    if (name == "pr") return ProtocolKind::PrOram;
-    if (name == "ir") return ProtocolKind::IrOram;
-    if (name == "palermo-sw") return ProtocolKind::PalermoSw;
-    if (name == "palermo") return ProtocolKind::Palermo;
-    if (name == "palermo-pf") return ProtocolKind::PalermoPrefetch;
-    fatal("unknown protocol '%s'", name.c_str());
+    ProtocolKind kind;
+    if (!protocolFromName(name, &kind))
+        fatal("unknown protocol '%s' (try palermo_run "
+              "--list-protocols)",
+              name.c_str());
+    return kind;
 }
 
 } // namespace

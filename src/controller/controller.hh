@@ -50,6 +50,12 @@ class Controller
     /** Data/Pos1/Pos2 stash view for occupancy studies. */
     virtual const Stash &stashOf(unsigned level) const = 0;
 
+    /**
+     * Mutable stash access, so samplers can reset the watermark window
+     * between observations without const_cast games.
+     */
+    virtual Stash &stashOf(unsigned level) = 0;
+
   protected:
     ControllerStats stats_;
 };

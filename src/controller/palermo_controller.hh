@@ -60,6 +60,7 @@ class PalermoController : public Controller
     void onCompletion(std::uint64_t tag) override;
     bool idle() const override;
     const Stash &stashOf(unsigned level) const override;
+    Stash &stashOf(unsigned level) override;
 
     PalermoOram &protocol() { return *protocol_; }
     const PalermoControllerConfig &config() const { return config_; }

@@ -6,6 +6,8 @@
 
 #include "controller/palermo_sw_controller.hh"
 
+#include "sim/protocol_registry.hh"
+
 namespace palermo {
 
 PalermoControllerConfig
@@ -25,5 +27,29 @@ PalermoSwController::PalermoSwController(
     : PalermoController(std::move(protocol), swConfig(columns))
 {
 }
+
+namespace {
+
+/** Registry entry: the protocol-only 1.2x bar (no PE mesh). */
+ProtocolDescriptor
+descriptor()
+{
+    ProtocolDescriptor d;
+    d.kind = ProtocolKind::PalermoSw;
+    d.displayName = "Palermo-SW";
+    d.shortToken = "palermo-sw";
+    d.aliases = {"palermosw", "sw"};
+    d.barOrder = 5;
+    d.build = [](const SystemConfig &config) {
+        return std::make_unique<PalermoSwController>(
+            std::make_unique<PalermoOram>(config.protocol),
+            config.palermo.columns);
+    };
+    return d;
+}
+
+const ProtocolRegistrar registrar{descriptor()};
+
+} // namespace
 
 } // namespace palermo

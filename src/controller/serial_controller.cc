@@ -198,4 +198,10 @@ SerialController::stashOf(unsigned level) const
     return protocol_->stashOf(level);
 }
 
+Stash &
+SerialController::stashOf(unsigned level)
+{
+    return protocol_->stashOf(level);
+}
+
 } // namespace palermo

@@ -44,6 +44,7 @@ class SerialController : public Controller
     void onCompletion(std::uint64_t tag) override;
     bool idle() const override;
     const Stash &stashOf(unsigned level) const override;
+    Stash &stashOf(unsigned level) override;
 
     Protocol &protocol() { return *protocol_; }
 

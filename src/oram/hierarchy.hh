@@ -151,6 +151,9 @@ class Protocol
     /** Stash of a hierarchy level (occupancy studies). */
     virtual const Stash &stashOf(unsigned level) const = 0;
 
+    /** Mutable stash access (watermark-window resets between samples). */
+    virtual Stash &stashOf(unsigned level) = 0;
+
     /** Blocks of the protected space (for trace sizing). */
     virtual std::uint64_t numBlocks() const = 0;
 };

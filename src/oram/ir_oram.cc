@@ -7,6 +7,8 @@
 #include "oram/ir_oram.hh"
 
 #include "common/log.hh"
+#include "controller/serial_controller.hh"
+#include "sim/protocol_registry.hh"
 
 namespace palermo {
 
@@ -113,11 +115,44 @@ IrOram::stashOf(unsigned level) const
     return engines_[level]->stash();
 }
 
+Stash &
+IrOram::stashOf(unsigned level)
+{
+    palermo_assert(level < kHierLevels);
+    return engines_[level]->stash();
+}
+
 bool
 IrOram::checkBlockInvariant(BlockId pa) const
 {
     return engines_[kLevelData]->satisfiesInvariant(
         pa, posMaps_[kLevelData]->get(pa));
 }
+
+namespace {
+
+/**
+ * Registry entry: IR-ORAM's tree-shrink + bypass-table design.
+ */
+ProtocolDescriptor
+descriptor()
+{
+    ProtocolDescriptor d;
+    d.kind = ProtocolKind::IrOram;
+    d.displayName = "IR-ORAM";
+    d.shortToken = "ir";
+    d.aliases = {"iroram"};
+    d.barOrder = 4;
+    d.build = [](const SystemConfig &config) {
+        return std::make_unique<SerialController>(
+            std::make_unique<IrOram>(config.protocol),
+            config.serialIssueWidth, 8, config.decryptLatency);
+    };
+    return d;
+}
+
+const ProtocolRegistrar registrar{descriptor()};
+
+} // namespace
 
 } // namespace palermo

@@ -48,6 +48,7 @@ class IrOram : public Protocol
                                     std::uint64_t value) override;
 
     const Stash &stashOf(unsigned level) const override;
+    Stash &stashOf(unsigned level) override;
     std::uint64_t numBlocks() const override { return config_.numBlocks; }
 
     const IrOramStats &irStats() const { return irStats_; }

@@ -7,6 +7,8 @@
 #include "oram/page_oram.hh"
 
 #include "common/log.hh"
+#include "controller/serial_controller.hh"
+#include "sim/protocol_registry.hh"
 
 namespace palermo {
 
@@ -69,11 +71,44 @@ PageOram::stashOf(unsigned level) const
     return engines_[level]->stash();
 }
 
+Stash &
+PageOram::stashOf(unsigned level)
+{
+    palermo_assert(level < kHierLevels);
+    return engines_[level]->stash();
+}
+
 bool
 PageOram::checkBlockInvariant(BlockId pa) const
 {
     return engines_[kLevelData]->satisfiesInvariant(
         pa, posMaps_[kLevelData]->get(pa));
 }
+
+namespace {
+
+/**
+ * Registry entry: PageORAM's reduced-bucket variant.
+ */
+ProtocolDescriptor
+descriptor()
+{
+    ProtocolDescriptor d;
+    d.kind = ProtocolKind::PageOram;
+    d.displayName = "PageORAM";
+    d.shortToken = "page";
+    d.aliases = {"pageoram"};
+    d.barOrder = 2;
+    d.build = [](const SystemConfig &config) {
+        return std::make_unique<SerialController>(
+            std::make_unique<PageOram>(config.protocol),
+            config.serialIssueWidth, 8, config.decryptLatency);
+    };
+    return d;
+}
+
+const ProtocolRegistrar registrar{descriptor()};
+
+} // namespace
 
 } // namespace palermo

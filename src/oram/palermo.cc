@@ -119,6 +119,13 @@ PalermoOram::stashOf(unsigned level) const
     return engines_[level]->stash();
 }
 
+Stash &
+PalermoOram::stashOf(unsigned level)
+{
+    palermo_assert(level < kHierLevels);
+    return engines_[level]->stash();
+}
+
 bool
 PalermoOram::checkBlockInvariant(BlockId pa) const
 {

@@ -76,6 +76,7 @@ class PalermoOram
     std::uint64_t finishData(BlockId pa, bool write, std::uint64_t value);
 
     const Stash &stashOf(unsigned level) const;
+    Stash &stashOf(unsigned level);
     RingEngine &engine(unsigned level) { return *engines_[level]; }
     const RingEngine &engine(unsigned level) const
     {

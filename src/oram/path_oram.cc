@@ -7,6 +7,8 @@
 #include "oram/path_oram.hh"
 
 #include "common/log.hh"
+#include "controller/serial_controller.hh"
+#include "sim/protocol_registry.hh"
 
 namespace palermo {
 
@@ -69,11 +71,44 @@ PathOram::stashOf(unsigned level) const
     return engines_[level]->stash();
 }
 
+Stash &
+PathOram::stashOf(unsigned level)
+{
+    palermo_assert(level < kHierLevels);
+    return engines_[level]->stash();
+}
+
 bool
 PathOram::checkBlockInvariant(BlockId pa) const
 {
     return engines_[kLevelData]->satisfiesInvariant(
         pa, posMaps_[kLevelData]->get(pa));
 }
+
+namespace {
+
+/**
+ * Registry entry: PathORAM is Fig. 10's normalization baseline.
+ */
+ProtocolDescriptor
+descriptor()
+{
+    ProtocolDescriptor d;
+    d.kind = ProtocolKind::PathOram;
+    d.displayName = "PathORAM";
+    d.shortToken = "path";
+    d.aliases = {"pathoram"};
+    d.barOrder = 0;
+    d.build = [](const SystemConfig &config) {
+        return std::make_unique<SerialController>(
+            std::make_unique<PathOram>(config.protocol),
+            config.serialIssueWidth, 8, config.decryptLatency);
+    };
+    return d;
+}
+
+const ProtocolRegistrar registrar{descriptor()};
+
+} // namespace
 
 } // namespace palermo

@@ -29,6 +29,7 @@ class PathOram : public Protocol
                                     std::uint64_t value) override;
 
     const Stash &stashOf(unsigned level) const override;
+    Stash &stashOf(unsigned level) override;
     std::uint64_t numBlocks() const override { return config_.numBlocks; }
 
     PathEngine &engine(unsigned level) { return *engines_[level]; }

@@ -7,6 +7,8 @@
 #include "oram/pr_oram.hh"
 
 #include "common/log.hh"
+#include "controller/serial_controller.hh"
+#include "sim/protocol_registry.hh"
 
 namespace palermo {
 
@@ -186,11 +188,46 @@ PrOram::stashOf(unsigned level) const
     return engines_[level]->stash();
 }
 
+Stash &
+PrOram::stashOf(unsigned level)
+{
+    palermo_assert(level < kHierLevels);
+    return engines_[level]->stash();
+}
+
 bool
 PrOram::checkBlockInvariant(BlockId pa) const
 {
     return engines_[kLevelData]->satisfiesInvariant(
         pa, posMaps_[kLevelData]->get(pa));
 }
+
+namespace {
+
+/**
+ * Registry entry: PrORAM with Fat-Tree + throttle left to the caller (Fig. 10
+ * setup); the only serial baseline that honors prefetchLen.
+ */
+ProtocolDescriptor
+descriptor()
+{
+    ProtocolDescriptor d;
+    d.kind = ProtocolKind::PrOram;
+    d.displayName = "PrORAM";
+    d.shortToken = "pr";
+    d.aliases = {"proram"};
+    d.barOrder = 3;
+    d.supportsPrefetch = true;
+    d.build = [](const SystemConfig &config) {
+        return std::make_unique<SerialController>(
+            std::make_unique<PrOram>(config.protocol),
+            config.serialIssueWidth, 8, config.decryptLatency);
+    };
+    return d;
+}
+
+const ProtocolRegistrar registrar{descriptor()};
+
+} // namespace
 
 } // namespace palermo

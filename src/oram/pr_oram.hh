@@ -57,6 +57,7 @@ class PrOram : public Protocol
                                     std::uint64_t value) override;
 
     const Stash &stashOf(unsigned level) const override;
+    Stash &stashOf(unsigned level) override;
     std::uint64_t numBlocks() const override { return config_.numBlocks; }
 
     const PrOramStats &prStats() const { return prStats_; }

@@ -7,6 +7,8 @@
 #include "oram/ring_oram.hh"
 
 #include "common/log.hh"
+#include "controller/serial_controller.hh"
+#include "sim/protocol_registry.hh"
 
 namespace palermo {
 
@@ -81,6 +83,13 @@ RingOram::stashOf(unsigned level) const
     return engines_[level]->stash();
 }
 
+Stash &
+RingOram::stashOf(unsigned level)
+{
+    palermo_assert(level < kHierLevels);
+    return engines_[level]->stash();
+}
+
 bool
 RingOram::checkBlockInvariant(BlockId pa) const
 {
@@ -90,5 +99,31 @@ RingOram::checkBlockInvariant(BlockId pa) const
     return engines_[kLevelData]->satisfiesInvariant(
         block, posMaps_[kLevelData]->get(block));
 }
+
+namespace {
+
+/**
+ * Registry entry: RingORAM under the serial baseline controller.
+ */
+ProtocolDescriptor
+descriptor()
+{
+    ProtocolDescriptor d;
+    d.kind = ProtocolKind::RingOram;
+    d.displayName = "RingORAM";
+    d.shortToken = "ring";
+    d.aliases = {"ringoram"};
+    d.barOrder = 1;
+    d.build = [](const SystemConfig &config) {
+        return std::make_unique<SerialController>(
+            std::make_unique<RingOram>(config.protocol),
+            config.serialIssueWidth, 8, config.decryptLatency);
+    };
+    return d;
+}
+
+const ProtocolRegistrar registrar{descriptor()};
+
+} // namespace
 
 } // namespace palermo

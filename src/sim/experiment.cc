@@ -1,104 +1,47 @@
 /**
  * @file
- * Protocol/controller factory for every Fig. 10 design point and the
- * one-call runExperiment helper.
+ * Registry-backed experiment helpers. No protocol is named here: the
+ * descriptors registered from each protocol's own translation unit
+ * carry the construction logic, so this file stays closed to change
+ * when a new protocol lands.
  */
 
 #include "sim/experiment.hh"
 
 #include "common/log.hh"
-#include "controller/palermo_sw_controller.hh"
-#include "controller/serial_controller.hh"
-#include "oram/ir_oram.hh"
-#include "oram/page_oram.hh"
-#include "oram/palermo.hh"
-#include "oram/path_oram.hh"
-#include "oram/pr_oram.hh"
-#include "oram/ring_oram.hh"
+#include "sim/protocol_registry.hh"
 
 namespace palermo {
 
 std::unique_ptr<Controller>
 makeController(ProtocolKind kind, const SystemConfig &config)
 {
-    ProtocolConfig proto = config.protocol;
-
-    switch (kind) {
-      case ProtocolKind::PathOram:
-        proto.prefetchLen = 1;
-        return std::make_unique<SerialController>(
-            std::make_unique<PathOram>(proto), config.serialIssueWidth,
-            8, config.decryptLatency);
-
-      case ProtocolKind::RingOram:
-        proto.prefetchLen = 1;
-        return std::make_unique<SerialController>(
-            std::make_unique<RingOram>(proto), config.serialIssueWidth,
-            8, config.decryptLatency);
-
-      case ProtocolKind::PageOram:
-        proto.prefetchLen = 1;
-        return std::make_unique<SerialController>(
-            std::make_unique<PageOram>(proto), config.serialIssueWidth,
-            8, config.decryptLatency);
-
-      case ProtocolKind::PrOram:
-        return std::make_unique<SerialController>(
-            std::make_unique<PrOram>(proto), config.serialIssueWidth,
-            8, config.decryptLatency);
-
-      case ProtocolKind::IrOram:
-        proto.prefetchLen = 1;
-        return std::make_unique<SerialController>(
-            std::make_unique<IrOram>(proto), config.serialIssueWidth,
-            8, config.decryptLatency);
-
-      case ProtocolKind::PalermoSw: {
-        proto.prefetchLen = 1;
-        return std::make_unique<PalermoSwController>(
-            std::make_unique<PalermoOram>(proto),
-            config.palermo.columns);
-      }
-
-      case ProtocolKind::Palermo: {
-        proto.prefetchLen = 1;
-        PalermoControllerConfig hw = config.palermo;
-        hw.swMode = false;
-        hw.decryptLatency = config.decryptLatency;
-        return std::make_unique<PalermoController>(
-            std::make_unique<PalermoOram>(proto), hw);
-      }
-
-      case ProtocolKind::PalermoPrefetch: {
-        PalermoControllerConfig hw = config.palermo;
-        hw.swMode = false;
-        hw.decryptLatency = config.decryptLatency;
-        return std::make_unique<PalermoController>(
-            std::make_unique<PalermoOram>(proto), hw);
-      }
-    }
-    panic("unreachable protocol kind");
+    return buildProtocolController(kind, config);
 }
 
-std::unique_ptr<Simulator>
-makeSimulator(ProtocolKind kind, Workload workload,
-              const SystemConfig &config)
+std::unique_ptr<Frontend>
+makeFrontend(Workload workload, const SystemConfig &config)
 {
-    auto controller = makeController(kind, config);
     auto trace = makeTrace(workload, config.protocol.numBlocks,
                            mix64(config.seed ^ 0x74726163ull));
-    auto frontend = std::make_unique<Frontend>(
+    return std::make_unique<Frontend>(
         std::move(trace), config.totalRequests, config.constantRate,
         config.issueInterval, /*demand_probability=*/0.95, config.seed);
-    return std::make_unique<Simulator>(config, std::move(controller),
-                                       std::move(frontend));
+}
+
+std::unique_ptr<SimSession>
+makeSession(ProtocolKind kind, Workload workload,
+            const SystemConfig &config)
+{
+    return std::make_unique<SimSession>(kind, config,
+                                        makeFrontend(workload, config));
 }
 
 RunMetrics
 runExperiment(ProtocolKind kind, Workload workload,
               const SystemConfig &config)
 {
-    return makeSimulator(kind, workload, config)->run();
+    return makeSession(kind, workload, config)->finish();
 }
 
 double

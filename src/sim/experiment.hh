@@ -1,8 +1,8 @@
 /**
  * @file
- * Experiment runner: protocol/controller factory plus the one-call
- * "run workload W under protocol P" helper every bench and integration
- * test uses.
+ * Experiment conveniences over the protocol registry and SimSession:
+ * build a controller / frontend / ready-to-run session for a design
+ * point, or run one to completion in a single call.
  */
 
 #ifndef PALERMO_SIM_EXPERIMENT_HH
@@ -11,22 +11,30 @@
 #include <memory>
 
 #include "controller/controller.hh"
-#include "sim/simulator.hh"
+#include "sim/session.hh"
 #include "sim/system_config.hh"
 #include "trace/trace_gen.hh"
 
 namespace palermo {
 
-/** Build the timing controller (with its protocol) for a design point. */
+/**
+ * Build the timing controller (with its protocol) for a design point.
+ * Resolves the registered ProtocolDescriptor and applies its config
+ * normalization before construction.
+ */
 std::unique_ptr<Controller> makeController(ProtocolKind kind,
                                            const SystemConfig &config);
 
-/** Build a ready-to-run simulator for (protocol, workload). */
-std::unique_ptr<Simulator> makeSimulator(ProtocolKind kind,
-                                         Workload workload,
-                                         const SystemConfig &config);
+/** Build the standard LLC-miss frontend for (workload, config). */
+std::unique_ptr<Frontend> makeFrontend(Workload workload,
+                                       const SystemConfig &config);
 
-/** Run one experiment to completion. */
+/** Build a session with the built-in frontend bound. */
+std::unique_ptr<SimSession> makeSession(ProtocolKind kind,
+                                        Workload workload,
+                                        const SystemConfig &config);
+
+/** Run one experiment to completion (drives a session internally). */
 RunMetrics runExperiment(ProtocolKind kind, Workload workload,
                          const SystemConfig &config);
 

@@ -310,7 +310,9 @@ MetricsJson::writeRecord(JsonWriter &w, const RunRecord &record)
     w.beginObject();
     w.field("id", record.point.id);
     w.field("protocol", protocolKindName(record.point.kind));
-    w.field("workload", workloadName(record.point.workload));
+    w.field("workload", record.point.workloadLabel.empty()
+                ? std::string(workloadName(record.point.workload))
+                : record.point.workloadLabel);
     w.field("seed", record.point.config.seed);
     w.field("allow_stash_overflow", record.point.allowStashOverflow);
     w.key("config");

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * ProtocolRegistry storage, name resolution, and the registry-backed
+ * controller builder.
+ */
+
+#include "sim/protocol_registry.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/log.hh"
+#include "controller/controller.hh"
+
+namespace palermo {
+
+namespace {
+
+std::string
+lowered(const std::string &text)
+{
+    std::string low;
+    low.reserve(text.size());
+    for (char c : text)
+        low.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    return low;
+}
+
+} // namespace
+
+ProtocolRegistry &
+ProtocolRegistry::instance()
+{
+    static ProtocolRegistry registry;
+    return registry;
+}
+
+void
+ProtocolRegistry::add(ProtocolDescriptor descriptor)
+{
+    palermo_assert(descriptor.displayName != nullptr
+                   && descriptor.shortToken != nullptr
+                   && descriptor.build != nullptr,
+                   "incomplete protocol descriptor");
+
+    for (const auto &existing : descriptors_) {
+        palermo_assert(existing->kind != descriptor.kind,
+                       "duplicate protocol kind registration");
+        palermo_assert(existing->barOrder != descriptor.barOrder,
+                       "duplicate protocol bar position");
+    }
+    // Every accepted spelling must resolve to exactly one protocol.
+    std::vector<std::string> names{lowered(descriptor.displayName),
+                                   lowered(descriptor.shortToken)};
+    for (const std::string &alias : descriptor.aliases)
+        names.push_back(lowered(alias));
+    for (const std::string &name : names)
+        palermo_assert(findByName(name) == nullptr,
+                       "protocol name registered twice");
+
+    descriptors_.push_back(
+        std::make_unique<ProtocolDescriptor>(std::move(descriptor)));
+}
+
+const ProtocolDescriptor *
+ProtocolRegistry::find(ProtocolKind kind) const
+{
+    for (const auto &descriptor : descriptors_)
+        if (descriptor->kind == kind)
+            return descriptor.get();
+    return nullptr;
+}
+
+const ProtocolDescriptor &
+ProtocolRegistry::at(ProtocolKind kind) const
+{
+    const ProtocolDescriptor *descriptor = find(kind);
+    if (descriptor == nullptr)
+        panic("protocol kind %d has no registered descriptor (is its "
+              "registration TU linked in?)",
+              static_cast<int>(kind));
+    return *descriptor;
+}
+
+const ProtocolDescriptor *
+ProtocolRegistry::findByName(const std::string &name) const
+{
+    const std::string low = lowered(name);
+    for (const auto &descriptor : descriptors_) {
+        if (low == lowered(descriptor->displayName)
+            || low == lowered(descriptor->shortToken))
+            return descriptor.get();
+        for (const std::string &alias : descriptor->aliases)
+            if (low == lowered(alias))
+                return descriptor.get();
+    }
+    return nullptr;
+}
+
+std::vector<const ProtocolDescriptor *>
+ProtocolRegistry::all() const
+{
+    std::vector<const ProtocolDescriptor *> sorted;
+    sorted.reserve(descriptors_.size());
+    for (const auto &descriptor : descriptors_)
+        sorted.push_back(descriptor.get());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const ProtocolDescriptor *a, const ProtocolDescriptor *b) {
+                  return a->barOrder < b->barOrder;
+              });
+    return sorted;
+}
+
+ProtocolRegistrar::ProtocolRegistrar(ProtocolDescriptor descriptor)
+{
+    ProtocolRegistry::instance().add(std::move(descriptor));
+}
+
+SystemConfig
+normalizedProtocolConfig(ProtocolKind kind, const SystemConfig &config)
+{
+    const ProtocolDescriptor &descriptor =
+        ProtocolRegistry::instance().at(kind);
+    if (config.constantRate && !descriptor.constantRateCapable)
+        fatal("protocol %s cannot run under the constant-rate frontend",
+              descriptor.displayName);
+
+    SystemConfig adjusted = config;
+    if (!descriptor.supportsPrefetch)
+        adjusted.protocol.prefetchLen = 1;
+    if (descriptor.adjustConfig)
+        descriptor.adjustConfig(adjusted);
+    return adjusted;
+}
+
+std::unique_ptr<Controller>
+buildProtocolController(ProtocolKind kind, const SystemConfig &config)
+{
+    const ProtocolDescriptor &descriptor =
+        ProtocolRegistry::instance().at(kind);
+    return descriptor.build(normalizedProtocolConfig(kind, config));
+}
+
+} // namespace palermo

@@ -5,7 +5,10 @@
 
 #include "sim/run_cli.hh"
 
+#include <iomanip>
 #include <sstream>
+
+#include "sim/protocol_registry.hh"
 
 namespace palermo {
 
@@ -19,6 +22,61 @@ fail(std::string *error, const std::string &message)
     return false;
 }
 
+/**
+ * Shared argv walker for the tool parsers: accepts "--flag value" and
+ * "--flag=value" forms, one flag per advance() step.
+ */
+class ArgCursor
+{
+  public:
+    ArgCursor(int argc, const char *const *argv)
+        : argc_(argc), argv_(argv)
+    {
+    }
+
+    /** Move to the next argument; false when argv is exhausted. */
+    bool
+    advance()
+    {
+        if (i_ + 1 >= argc_)
+            return false;
+        arg_ = argv_[++i_];
+        return true;
+    }
+
+    /** Flag name of the current argument (text before any '='). */
+    std::string
+    name() const
+    {
+        const std::size_t eq = arg_.find('=');
+        return eq == std::string::npos ? arg_ : arg_.substr(0, eq);
+    }
+
+    /**
+     * Value of the current flag: the text after '=', or the next
+     * argument (consumed). False when neither exists.
+     */
+    bool
+    value(std::string *out)
+    {
+        const std::size_t eq = arg_.find('=');
+        if (eq != std::string::npos) {
+            *out = arg_.substr(eq + 1);
+            return true;
+        }
+        if (i_ + 1 >= argc_)
+            return false;
+        *out = argv_[++i_];
+        return true;
+    }
+
+  private:
+    int argc_;
+    const char *const *argv_;
+    int i_ = -1;
+    std::string arg_;
+};
+
 } // namespace
 
 bool
@@ -27,75 +85,61 @@ parseRunArgs(int argc, const char *const *argv, RunOptions *options,
 {
     RunOptions result;
 
-    int i = 0;
-    const auto nextValue = [&](const std::string &flag,
-                               std::string *value) {
-        const std::size_t eq = flag.find('=');
-        if (eq != std::string::npos) {
-            *value = flag.substr(eq + 1);
-            return true;
-        }
-        if (i + 1 >= argc)
-            return false;
-        *value = argv[++i];
-        return true;
-    };
-    const auto flagName = [](const std::string &flag) {
-        const std::size_t eq = flag.find('=');
-        return eq == std::string::npos ? flag : flag.substr(0, eq);
-    };
-
-    for (; i < argc; ++i) {
-        const std::string arg = argv[i];
-        const std::string name = flagName(arg);
+    ArgCursor cursor(argc, argv);
+    while (cursor.advance()) {
+        const std::string name = cursor.name();
         std::string value;
 
         if (name == "--help" || name == "-h") {
             result.help = true;
         } else if (name == "--list") {
             result.listPoints = true;
+        } else if (name == "--list-protocols") {
+            result.listProtocols = true;
+        } else if (name == "--list-workloads") {
+            result.listWorkloads = true;
         } else if (name == "--paper") {
             result.paperGeometry = true;
         } else if (name == "--constant-rate") {
             result.constantRate = true;
         } else if (name == "--protocol") {
-            if (!nextValue(arg, &value))
+            if (!cursor.value(&value))
                 return fail(error, "--protocol needs a name");
             if (!protocolFromName(value, &result.protocol))
                 return fail(error, "unknown protocol '" + value + "'");
         } else if (name == "--workload") {
-            if (!nextValue(arg, &value))
+            if (!cursor.value(&value))
                 return fail(error, "--workload needs a name");
             if (!tryWorkloadFromName(value, &result.workload))
                 return fail(error, "unknown workload '" + value + "'");
         } else if (name == "--blocks") {
-            if (!nextValue(arg, &value)
+            if (!cursor.value(&value)
                 || !parseUnsigned(value, &result.blocks)
                 || result.blocks == 0)
                 return fail(error, "--blocks needs a positive integer");
         } else if (name == "--reqs") {
-            if (!nextValue(arg, &value)
+            if (!cursor.value(&value)
                 || !parseUnsigned(value, &result.reqs)
                 || result.reqs == 0)
                 return fail(error, "--reqs needs a positive integer");
         } else if (name == "--seed") {
-            if (!nextValue(arg, &value)
+            if (!cursor.value(&value)
                 || !parseUnsigned(value, &result.seed))
                 return fail(error, "--seed needs an unsigned integer");
             result.seedSet = true;
         } else if (name == "--sweep") {
-            if (!nextValue(arg, &value))
+            if (!cursor.value(&value))
                 return fail(error, "--sweep needs a grid spec");
             if (!result.sweep.empty())
                 result.sweep.push_back(';');
             result.sweep.append(value);
         } else if (name == "--json") {
-            if (!nextValue(arg, &value))
+            if (!cursor.value(&value))
                 return fail(error, "--json needs a path (or '-')");
             result.jsonPath = value;
         } else if (name == "--jobs" || name == "-j") {
             std::uint64_t jobs = 0;
-            if (!nextValue(arg, &value) || !parseUnsigned(value, &jobs)
+            if (!cursor.value(&value) || !parseUnsigned(value, &jobs)
                 || jobs == 0)
                 return fail(error, "--jobs needs a positive integer");
             result.jobs = static_cast<unsigned>(jobs);
@@ -134,6 +178,73 @@ RunOptions::expandPoints(std::string *error) const
     return spec.expand(protocol, workload, baseConfig());
 }
 
+namespace {
+
+/** "a|b|c" join of the registered protocol tokens (usage text). */
+std::string
+protocolTokens()
+{
+    std::string joined;
+    for (ProtocolKind kind : allProtocolKinds()) {
+        if (!joined.empty())
+            joined.push_back('|');
+        joined.append(protocolShortName(kind));
+    }
+    return joined;
+}
+
+std::string
+workloadTokens()
+{
+    std::string joined;
+    for (Workload workload : allWorkloads()) {
+        if (!joined.empty())
+            joined.push_back('|');
+        joined.append(workloadName(workload));
+    }
+    return joined;
+}
+
+} // namespace
+
+std::string
+protocolListing()
+{
+    std::string out;
+    for (const ProtocolDescriptor *d :
+         ProtocolRegistry::instance().all()) {
+        std::ostringstream line;
+        line << std::left << std::setw(14) << d->shortToken
+             << std::setw(20) << d->displayName;
+        std::string flags;
+        if (d->supportsPrefetch)
+            flags += "prefetch";
+        if (d->constantRateCapable)
+            flags += flags.empty() ? "constant-rate" : ",constant-rate";
+        line << std::setw(24) << (flags.empty() ? "-" : flags);
+        if (!d->aliases.empty()) {
+            line << "aliases: ";
+            for (std::size_t i = 0; i < d->aliases.size(); ++i)
+                line << (i ? ", " : "") << d->aliases[i];
+        }
+        std::string text = line.str();
+        while (!text.empty() && text.back() == ' ')
+            text.pop_back(); // Diff-stable: no trailing padding.
+        out += text;
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+workloadListing()
+{
+    std::ostringstream os;
+    for (Workload workload : allWorkloads())
+        os << workloadName(workload) << '\n';
+    return os.str();
+}
+
 std::string
 runUsage()
 {
@@ -143,11 +254,9 @@ runUsage()
        << "Run one design point, or a sweep grid, and report metrics.\n"
        << "\n"
        << "options:\n"
-       << "  --protocol NAME   path|ring|page|pr|ir|palermo-sw|palermo|"
-          "palermo-pf\n"
+       << "  --protocol NAME   " << protocolTokens() << "\n"
        << "                    (default: palermo)\n"
-       << "  --workload NAME   mcf|lbm|pr|graph|motif|rm1|rm2|llm|redis|"
-          "stream|random\n"
+       << "  --workload NAME   " << workloadTokens() << "\n"
        << "                    (default: random)\n"
        << "  --blocks N        protected 64B lines (default: 2^18)\n"
        << "  --reqs N          real LLC misses to simulate "
@@ -164,11 +273,115 @@ runUsage()
        << "  --json PATH       write palermo-metrics-v1 JSON "
           "('-' = stdout)\n"
        << "  --list            print the expanded grid and exit\n"
+       << "  --list-protocols  print the protocol registry and exit\n"
+       << "  --list-workloads  print workload names and exit\n"
        << "  --help            this text\n"
        << "\n"
        << "example:\n"
        << "  palermo_run --protocol palermo --workload graph \\\n"
        << "      --sweep prefetch=0,4,8 --jobs 4 --json out.json\n";
+    return os.str();
+}
+
+
+bool
+parseReplayArgs(int argc, const char *const *argv,
+                ReplayOptions *options, std::string *error)
+{
+    ReplayOptions result;
+
+    ArgCursor cursor(argc, argv);
+    while (cursor.advance()) {
+        const std::string name = cursor.name();
+        std::string value;
+
+        if (name == "--help" || name == "-h") {
+            result.help = true;
+        } else if (name == "--list-protocols") {
+            result.listProtocols = true;
+        } else if (name == "--paper") {
+            result.paperGeometry = true;
+        } else if (name == "--trace") {
+            if (!cursor.value(&value))
+                return fail(error, "--trace needs a file path");
+            result.tracePath = value;
+        } else if (name == "--protocol") {
+            if (!cursor.value(&value))
+                return fail(error, "--protocol needs a name");
+            if (!protocolFromName(value, &result.protocol))
+                return fail(error, "unknown protocol '" + value + "'");
+        } else if (name == "--blocks") {
+            if (!cursor.value(&value)
+                || !parseUnsigned(value, &result.blocks)
+                || result.blocks == 0)
+                return fail(error, "--blocks needs a positive integer");
+        } else if (name == "--seed") {
+            if (!cursor.value(&value)
+                || !parseUnsigned(value, &result.seed))
+                return fail(error, "--seed needs an unsigned integer");
+            result.seedSet = true;
+        } else if (name == "--depth") {
+            if (!cursor.value(&value)
+                || !parseUnsigned(value, &result.depth)
+                || result.depth == 0)
+                return fail(error, "--depth needs a positive integer");
+        } else if (name == "--progress") {
+            if (!cursor.value(&value)
+                || !parseUnsigned(value, &result.progress)
+                || result.progress == 0)
+                return fail(error,
+                            "--progress needs a positive integer");
+        } else if (name == "--json") {
+            if (!cursor.value(&value))
+                return fail(error, "--json needs a path (or '-')");
+            result.jsonPath = value;
+        } else {
+            return fail(error, "unknown flag '" + name + "'");
+        }
+    }
+
+    *options = result;
+    return true;
+}
+
+SystemConfig
+ReplayOptions::baseConfig() const
+{
+    SystemConfig config = paperGeometry ? SystemConfig::paperTableIII()
+                                        : SystemConfig::benchDefault();
+    if (blocks)
+        config.protocol.numBlocks = blocks;
+    if (seedSet) {
+        config.seed = seed;
+        config.protocol.seed = seed;
+    }
+    return config;
+}
+
+std::string
+replayUsage()
+{
+    std::ostringstream os;
+    os << "usage: palermo_replay --trace FILE [options]\n"
+       << "\n"
+       << "Replay an external LLC-miss trace through a SimSession.\n"
+       << "\n"
+       << "options:\n"
+       << "  --trace FILE      trace file ('R <line>' / 'W <line> "
+          "[value]')\n"
+       << "  --protocol NAME   " << protocolTokens() << "\n"
+       << "                    (default: palermo)\n"
+       << "  --blocks N        protected 64B lines (default: 2^18)\n"
+       << "  --seed N          determinism seed (default: 1)\n"
+       << "  --paper           Table III 16 GB geometry\n"
+       << "  --depth N         submit-queue depth ahead of the "
+          "controller (default: 8)\n"
+       << "  --progress N      print a mid-run snapshot line to stderr "
+          "every N served\n"
+       << "  --json PATH       write palermo-metrics-v1 JSON "
+          "('-' = stdout)\n"
+       << "  --list-protocols  print the protocol registry and exit\n"
+       << "  --help            this text\n";
     return os.str();
 }
 

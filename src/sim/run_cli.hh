@@ -1,6 +1,7 @@
 /**
  * @file
- * Option parsing for the palermo_run CLI (and its tests).
+ * Option parsing for the palermo_run and palermo_replay CLIs (and
+ * their tests).
  *
  * Kept in the library (not tools/) so flag handling is unit-testable
  * and so bench binaries share the exact same --json/--jobs semantics.
@@ -37,6 +38,8 @@ struct RunOptions
     std::string jsonPath;          ///< --json PATH ("-" = stdout).
     unsigned jobs = 1;             ///< --jobs N worker threads.
     bool listPoints = false;       ///< --list: print grid, don't run.
+    bool listProtocols = false;    ///< --list-protocols (registry).
+    bool listWorkloads = false;    ///< --list-workloads.
     bool help = false;             ///< --help / -h.
 
     /** Resolve the base SystemConfig these options describe. */
@@ -56,6 +59,47 @@ bool parseRunArgs(int argc, const char *const *argv, RunOptions *options,
 
 /** Usage text for --help and parse errors. */
 std::string runUsage();
+
+/** Everything palermo_replay accepts on its command line. */
+struct ReplayOptions
+{
+    std::string tracePath;         ///< --trace FILE (required to run).
+    ProtocolKind protocol = ProtocolKind::Palermo;
+
+    bool paperGeometry = false;    ///< --paper: Table III 16 GB space.
+    std::uint64_t blocks = 0;      ///< --blocks (0 = keep default).
+    bool seedSet = false;
+    std::uint64_t seed = 0;        ///< --seed (when seedSet).
+
+    std::uint64_t depth = 8;       ///< --depth: submit-queue bound.
+    std::uint64_t progress = 0;    ///< --progress N (0 = off).
+    std::string jsonPath;          ///< --json PATH ("-" = stdout).
+    bool listProtocols = false;    ///< --list-protocols (registry).
+    bool help = false;             ///< --help / -h.
+
+    /**
+     * Resolve the base SystemConfig these options describe. The run
+     * shape (totalRequests) still comes from the trace length.
+     */
+    SystemConfig baseConfig() const;
+};
+
+/** Parse palermo_replay argv (excluding argv[0]); see parseRunArgs. */
+bool parseReplayArgs(int argc, const char *const *argv,
+                     ReplayOptions *options, std::string *error);
+
+/** Usage text for palermo_replay. */
+std::string replayUsage();
+
+/**
+ * One line per registered protocol, in Fig. 10 bar order: short
+ * token, display name, capability flags, accepted aliases. What
+ * `palermo_run --list-protocols` prints.
+ */
+std::string protocolListing();
+
+/** One line per workload, in Fig. 10 order (--list-workloads). */
+std::string workloadListing();
 
 } // namespace palermo
 

@@ -12,6 +12,7 @@
 
 #include "common/log.hh"
 #include "sim/experiment.hh"
+#include "sim/protocol_registry.hh"
 
 namespace palermo {
 
@@ -237,6 +238,11 @@ SweepSpec::expand(ProtocolKind base_kind, Workload base_workload,
                                     id << "/seed=" << seed;
                                 point.config.seed = seed;
                                 point.config.protocol.seed = seed;
+                                // Record what will actually run: the
+                                // descriptor's capability clamp and
+                                // config-adjust hook applied.
+                                point.config = normalizedProtocolConfig(
+                                    point.kind, point.config);
                                 point.id = id.str();
                                 points.push_back(std::move(point));
                             }
@@ -261,8 +267,10 @@ SweepRunner::run(const std::vector<DesignPoint> &points) const
         for (std::size_t i = next.fetch_add(1); i < points.size();
              i = next.fetch_add(1)) {
             records[i].point = points[i];
-            records[i].metrics = runExperiment(
-                points[i].kind, points[i].workload, points[i].config);
+            records[i].metrics =
+                makeSession(points[i].kind, points[i].workload,
+                            points[i].config)
+                    ->finish();
         }
     };
 

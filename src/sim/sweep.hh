@@ -18,7 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/simulator.hh"
+#include "sim/session.hh"
 #include "sim/system_config.hh"
 #include "trace/trace_gen.hh"
 
@@ -32,6 +32,13 @@ struct DesignPoint
     Workload workload = Workload::Random;
     SystemConfig config;
     std::string id;  ///< Stable "protocol/workload[/axis=value...]" key.
+
+    /**
+     * Overrides the workload name in JSON output when non-empty —
+     * externally driven points (palermo_replay) report their trace
+     * here instead of a synthetic-workload tag.
+     */
+    std::string workloadLabel;
 
     /**
      * Exempt this point from the stash-overflow sanity gate. Fig. 4
@@ -90,8 +97,9 @@ struct SweepSpec
     /**
      * Cross-product expansion against a base design point. A prefetch
      * value of 0 or 1 means "no prefetch"; values > 1 upgrade a plain
-     * Palermo base to Palermo+Prefetch (the controller otherwise pins
-     * prefetchLen to 1), mirroring the Fig. 13 sweep.
+     * Palermo base to Palermo+Prefetch (descriptors without the
+     * prefetch capability clamp prefetchLen to 1), mirroring the
+     * Fig. 13 sweep.
      */
     std::vector<DesignPoint> expand(ProtocolKind base_kind,
                                     Workload base_workload,

@@ -7,92 +7,53 @@
 #include "sim/system_config.hh"
 
 #include <algorithm>
-#include <cctype>
 #include <cstdlib>
 #include <sstream>
 
 #include "common/log.hh"
+#include "sim/protocol_registry.hh"
 
 namespace palermo {
+
+// The name functions are thin views over the protocol registry, so a
+// newly registered protocol shows up in every CLI parser, usage
+// string, and JSON document without touching this file.
 
 const char *
 protocolKindName(ProtocolKind kind)
 {
-    switch (kind) {
-      case ProtocolKind::PathOram: return "PathORAM";
-      case ProtocolKind::RingOram: return "RingORAM";
-      case ProtocolKind::PageOram: return "PageORAM";
-      case ProtocolKind::PrOram: return "PrORAM";
-      case ProtocolKind::IrOram: return "IR-ORAM";
-      case ProtocolKind::PalermoSw: return "Palermo-SW";
-      case ProtocolKind::Palermo: return "Palermo";
-      case ProtocolKind::PalermoPrefetch: return "Palermo+Prefetch";
-    }
-    return "?";
+    return ProtocolRegistry::instance().at(kind).displayName;
 }
 
 const char *
 protocolShortName(ProtocolKind kind)
 {
-    switch (kind) {
-      case ProtocolKind::PathOram: return "path";
-      case ProtocolKind::RingOram: return "ring";
-      case ProtocolKind::PageOram: return "page";
-      case ProtocolKind::PrOram: return "pr";
-      case ProtocolKind::IrOram: return "ir";
-      case ProtocolKind::PalermoSw: return "palermo-sw";
-      case ProtocolKind::Palermo: return "palermo";
-      case ProtocolKind::PalermoPrefetch: return "palermo-pf";
-    }
-    return "?";
+    return ProtocolRegistry::instance().at(kind).shortToken;
 }
 
 const std::vector<ProtocolKind> &
 allProtocolKinds()
 {
-    static const std::vector<ProtocolKind> kinds = {
-        ProtocolKind::PathOram,  ProtocolKind::RingOram,
-        ProtocolKind::PageOram,  ProtocolKind::PrOram,
-        ProtocolKind::IrOram,    ProtocolKind::PalermoSw,
-        ProtocolKind::Palermo,   ProtocolKind::PalermoPrefetch,
-    };
+    // Materialized once, after static init: registration is complete
+    // by the time any experiment code can call this.
+    static const std::vector<ProtocolKind> kinds = [] {
+        std::vector<ProtocolKind> result;
+        for (const ProtocolDescriptor *descriptor :
+             ProtocolRegistry::instance().all())
+            result.push_back(descriptor->kind);
+        return result;
+    }();
     return kinds;
 }
 
 bool
 protocolFromName(const std::string &name, ProtocolKind *kind)
 {
-    std::string low;
-    low.reserve(name.size());
-    for (char c : name)
-        low.push_back(static_cast<char>(
-            std::tolower(static_cast<unsigned char>(c))));
-
-    for (ProtocolKind k : allProtocolKinds()) {
-        if (low == protocolShortName(k)) {
-            *kind = k;
-            return true;
-        }
-    }
-    // Display names and common aliases.
-    if (low == "pathoram") {
-        *kind = ProtocolKind::PathOram;
-    } else if (low == "ringoram") {
-        *kind = ProtocolKind::RingOram;
-    } else if (low == "pageoram") {
-        *kind = ProtocolKind::PageOram;
-    } else if (low == "proram") {
-        *kind = ProtocolKind::PrOram;
-    } else if (low == "iroram" || low == "ir-oram") {
-        *kind = ProtocolKind::IrOram;
-    } else if (low == "palermosw" || low == "sw") {
-        *kind = ProtocolKind::PalermoSw;
-    } else if (low == "palermo-prefetch" || low == "palermo+prefetch"
-               || low == "palermo+pf") {
-        *kind = ProtocolKind::PalermoPrefetch;
-    } else {
+    const ProtocolDescriptor *descriptor =
+        ProtocolRegistry::instance().findByName(name);
+    if (descriptor == nullptr)
         return false;
-    }
+    *kind = descriptor->kind;
     return true;
 }
 

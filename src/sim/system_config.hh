@@ -16,7 +16,12 @@
 
 namespace palermo {
 
-/** Which end-to-end design to instantiate (Fig. 10 bars). */
+/**
+ * Which end-to-end design to instantiate (Fig. 10 bars). The enum is
+ * only an identity token: names, construction, and capabilities live
+ * in the ProtocolDescriptor each protocol registers from its own
+ * translation unit (see sim/protocol_registry.hh).
+ */
 enum class ProtocolKind
 {
     PathOram,
@@ -29,14 +34,16 @@ enum class ProtocolKind
     PalermoPrefetch, ///< Palermo with PrORAM's chosen prefetch length.
 };
 
+// Name helpers below are thin views over the protocol registry.
+
 const char *protocolKindName(ProtocolKind kind);
 
 /** Short lowercase token used in CLI flags and JSON point ids. */
 const char *protocolShortName(ProtocolKind kind);
 
 /**
- * Parse a protocol name (short token, display name, or common alias;
- * case-insensitive). Returns false on unknown names.
+ * Parse a protocol name (short token, display name, or registered
+ * alias; case-insensitive). Returns false on unknown names.
  */
 bool protocolFromName(const std::string &name, ProtocolKind *kind);
 

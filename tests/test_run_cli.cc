@@ -150,8 +150,103 @@ TEST(ParseRunArgs, HelpFlag)
     const std::string usage = runUsage();
     for (const char *flag :
          {"--protocol", "--workload", "--blocks", "--reqs", "--seed",
-          "--sweep", "--jobs", "--json", "--list", "--paper"})
+          "--sweep", "--jobs", "--json", "--list", "--list-protocols",
+          "--list-workloads", "--paper"})
         EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+}
+
+TEST(ParseRunArgs, ListingFlags)
+{
+    RunOptions options;
+    std::string error;
+    ASSERT_TRUE(parse({"--list-protocols"}, &options, &error));
+    EXPECT_TRUE(options.listProtocols);
+    EXPECT_FALSE(options.listWorkloads);
+    ASSERT_TRUE(parse({"--list-workloads"}, &options, &error));
+    EXPECT_TRUE(options.listWorkloads);
+}
+
+TEST(Listings, ProtocolListingCoversRegistryInBarOrder)
+{
+    const std::string listing = protocolListing();
+    // Every registered token appears, on its own line, in bar order.
+    std::size_t last = 0;
+    for (ProtocolKind kind : allProtocolKinds()) {
+        const std::string token = protocolShortName(kind);
+        const std::size_t pos = listing.find(token);
+        ASSERT_NE(pos, std::string::npos) << token;
+        EXPECT_GE(pos, last) << token << " out of bar order";
+        last = pos;
+    }
+    // Capability flags surface for the prefetch-capable designs.
+    EXPECT_NE(listing.find("prefetch"), std::string::npos);
+    EXPECT_NE(listing.find("aliases:"), std::string::npos);
+}
+
+TEST(Listings, WorkloadListingCoversAllWorkloads)
+{
+    const std::string listing = workloadListing();
+    for (Workload workload : allWorkloads())
+        EXPECT_NE(listing.find(workloadName(workload)),
+                  std::string::npos)
+            << workloadName(workload);
+}
+
+TEST(Listings, UsageNamesEveryRegisteredProtocol)
+{
+    for (const std::string &usage : {runUsage(), replayUsage()})
+        for (ProtocolKind kind : allProtocolKinds())
+            EXPECT_NE(usage.find(protocolShortName(kind)),
+                      std::string::npos)
+                << protocolShortName(kind);
+}
+
+bool
+parseReplay(const std::vector<const char *> &args,
+            ReplayOptions *options, std::string *error)
+{
+    return parseReplayArgs(static_cast<int>(args.size()), args.data(),
+                           options, error);
+}
+
+TEST(ParseReplayArgs, DefaultsAndFullInvocation)
+{
+    ReplayOptions options;
+    std::string error;
+    ASSERT_TRUE(parseReplay({}, &options, &error)) << error;
+    EXPECT_EQ(options.protocol, ProtocolKind::Palermo);
+    EXPECT_EQ(options.depth, 8u);
+    EXPECT_EQ(options.progress, 0u);
+    EXPECT_TRUE(options.tracePath.empty());
+
+    ASSERT_TRUE(parseReplay({"--trace", "t.trace", "--protocol=ring",
+                             "--blocks", "4096", "--seed=7",
+                             "--depth", "4", "--progress=50", "--json",
+                             "-"},
+                            &options, &error))
+        << error;
+    EXPECT_EQ(options.tracePath, "t.trace");
+    EXPECT_EQ(options.protocol, ProtocolKind::RingOram);
+    EXPECT_EQ(options.depth, 4u);
+    EXPECT_EQ(options.progress, 50u);
+    EXPECT_EQ(options.jsonPath, "-");
+
+    const SystemConfig config = options.baseConfig();
+    EXPECT_EQ(config.protocol.numBlocks, 4096u);
+    EXPECT_EQ(config.seed, 7u);
+    EXPECT_EQ(config.protocol.seed, 7u);
+}
+
+TEST(ParseReplayArgs, RejectsBadInput)
+{
+    ReplayOptions options;
+    std::string error;
+    EXPECT_FALSE(parseReplay({"--trace"}, &options, &error));
+    EXPECT_FALSE(parseReplay({"--protocol", "bogus"}, &options, &error));
+    EXPECT_FALSE(parseReplay({"--depth", "0"}, &options, &error));
+    EXPECT_FALSE(parseReplay({"--progress", "x"}, &options, &error));
+    EXPECT_FALSE(parseReplay({"--jobs", "2"}, &options, &error));
+    EXPECT_FALSE(error.empty());
 }
 
 } // namespace

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * palermo_replay: drive the simulator from an external trace file.
+ *
+ * The existence proof for the re-entrant SimSession API: no Frontend
+ * is bound — this tool reads (op, line) records from a file, feeds
+ * them through SimSession::submit() at a bounded queue depth, advances
+ * time with step(), and observes metrics mid-run through snapshot().
+ * Anything that can produce the trace format (a Sniper dump converter,
+ * a production access log scrubber, another simulator) can drive the
+ * full Palermo timing stack the same way.
+ *
+ * Trace format: text, one record per line.
+ *   - '#' starts a comment (rest of line ignored); blank lines skipped.
+ *   - 'R <line>'            read of a protected 64B line index.
+ *   - 'W <line> [value]'    write (optional payload, default 0).
+ * Ops are case-insensitive. Line indices must fit the protected space
+ * (--blocks). See tools/traces/tiny.trace for a worked example.
+ *
+ * Exit status: 0 on success, 1 on sanity-gate or I/O failure, 2 on
+ * usage/trace-format errors.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "sim/experiment.hh"
+#include "sim/metrics_json.hh"
+#include "sim/protocol_registry.hh"
+#include "sim/run_cli.hh"
+#include "sim/sweep.hh"
+
+using namespace palermo;
+
+namespace {
+
+/** Parse the trace file; returns false with a message on bad input. */
+bool
+loadTrace(const std::string &path, std::vector<FrontendRequest> *out,
+          std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        *error = "cannot open trace file '" + path + "'";
+        return false;
+    }
+
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream fields(line);
+        std::string op;
+        if (!(fields >> op))
+            continue; // Blank / comment-only line.
+
+        const auto bad = [&](const std::string &what) {
+            std::ostringstream os;
+            os << path << ":" << lineno << ": " << what;
+            *error = os.str();
+            return false;
+        };
+
+        bool write = false;
+        if (op == "R" || op == "r") {
+            write = false;
+        } else if (op == "W" || op == "w") {
+            write = true;
+        } else {
+            return bad("unknown op '" + op + "' (want R or W)");
+        }
+
+        std::string address;
+        if (!(fields >> address))
+            return bad("missing line index");
+        std::uint64_t pa = 0;
+        if (!parseUnsigned(address, &pa))
+            return bad("bad line index '" + address + "'");
+
+        std::uint64_t value = 0;
+        std::string payload;
+        if (fields >> payload) {
+            if (!write)
+                return bad("payload on a read record");
+            if (!parseUnsigned(payload, &value))
+                return bad("bad payload '" + payload + "'");
+        }
+        std::string extra;
+        if (fields >> extra)
+            return bad("trailing token '" + extra + "'");
+
+        out->push_back(FrontendRequest{pa, write, value, false});
+    }
+    if (out->empty()) {
+        *error = "trace '" + path + "' holds no records";
+        return false;
+    }
+    return true;
+}
+
+/** Stem of the trace path for the JSON point id ("tiny" from .../tiny.trace). */
+std::string
+traceStem(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    std::string stem =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    const std::size_t dot = stem.find_last_of('.');
+    if (dot != std::string::npos && dot > 0)
+        stem.resize(dot);
+    return stem;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+
+    ReplayOptions options;
+    std::string error;
+    if (!parseReplayArgs(argc - 1, argv + 1, &options, &error)) {
+        std::fprintf(stderr, "palermo_replay: %s\n\n%s", error.c_str(),
+                     replayUsage().c_str());
+        return 2;
+    }
+    if (options.help) {
+        std::fputs(replayUsage().c_str(), stdout);
+        return 0;
+    }
+    if (options.listProtocols) {
+        std::fputs(protocolListing().c_str(), stdout);
+        return 0;
+    }
+    if (options.tracePath.empty()) {
+        std::fprintf(stderr, "palermo_replay: --trace is required\n\n%s",
+                     replayUsage().c_str());
+        return 2;
+    }
+
+    std::vector<FrontendRequest> trace;
+    if (!loadTrace(options.tracePath, &trace, &error)) {
+        std::fprintf(stderr, "palermo_replay: %s\n", error.c_str());
+        return 2;
+    }
+
+    SystemConfig config = options.baseConfig();
+    // The trace defines the run shape: warmup fraction and sampling
+    // windows derive from its length, like any other design point.
+    config.totalRequests = trace.size();
+    config = normalizedProtocolConfig(options.protocol, config);
+
+    for (const FrontendRequest &request : trace) {
+        if (request.pa >= config.protocol.numBlocks) {
+            std::fprintf(stderr,
+                         "palermo_replay: trace line %llu outside the "
+                         "%llu-line protected space (--blocks)\n",
+                         static_cast<unsigned long long>(request.pa),
+                         static_cast<unsigned long long>(
+                             config.protocol.numBlocks));
+            return 2;
+        }
+    }
+
+    // Externally driven session: keep at most --depth requests queued
+    // ahead of the controller, step one cycle at a time.
+    SimSession session(options.protocol, config);
+    std::size_t next = 0;
+    std::uint64_t next_progress = options.progress;
+    while (!session.done()) {
+        while (next < trace.size() && session.backlog() < options.depth)
+            session.submit(trace[next++]);
+        session.step();
+        if (options.progress && session.served() >= next_progress) {
+            next_progress += options.progress;
+            const RunMetrics mid = session.snapshot();
+            std::fprintf(stderr,
+                         "progress: served %llu/%zu  cycles %llu  "
+                         "req/kcyc %.3f\n",
+                         static_cast<unsigned long long>(session.served()),
+                         trace.size(),
+                         static_cast<unsigned long long>(session.now()),
+                         mid.requestsPerKilocycle);
+        }
+    }
+    session.drain();
+    const RunMetrics metrics = session.snapshot();
+
+    RunRecord record;
+    record.point.kind = options.protocol;
+    record.point.config = config;
+    record.point.workloadLabel =
+        "trace:" + traceStem(options.tracePath);
+    record.point.id = std::string(protocolShortName(options.protocol))
+        + "/" + record.point.workloadLabel;
+    record.metrics = metrics;
+    const std::vector<RunRecord> records{record};
+
+    std::FILE *table = options.jsonPath == "-" ? stderr : stdout;
+    std::fprintf(table, "%-40s%12s%10s%10s%10s%12s\n", "point",
+                 "req/kcyc", "bw-util%", "rowhit%", "lat-p50", "stash");
+    char stash[32];
+    std::snprintf(stash, sizeof(stash), "%zu/%zu%s", metrics.stashMax,
+                  metrics.stashCapacity,
+                  metrics.stashOverflowed ? "!" : "");
+    std::fprintf(table, "%-40s%12.3f%10.1f%10.1f%10.0f%12s\n",
+                 record.point.id.c_str(), metrics.requestsPerKilocycle,
+                 metrics.bwUtilization * 100, metrics.rowHitRate * 100,
+                 metrics.latency.quantile(0.50), stash);
+
+    bool ok = true;
+    if (!options.jsonPath.empty()) {
+        const std::string doc =
+            MetricsJson::document("palermo_replay", records);
+        ok = MetricsJson::writeFile(options.jsonPath, doc);
+    }
+
+    std::vector<std::string> problems;
+    if (!sanityCheck(records, &problems)) {
+        ok = false;
+        for (const std::string &problem : problems)
+            std::fprintf(stderr, "palermo_replay: SANITY: %s\n",
+                         problem.c_str());
+    }
+    return ok ? 0 : 1;
+}

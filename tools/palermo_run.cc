@@ -35,6 +35,14 @@ main(int argc, char **argv)
         std::fputs(runUsage().c_str(), stdout);
         return 0;
     }
+    if (options.listProtocols) {
+        std::fputs(protocolListing().c_str(), stdout);
+        return 0;
+    }
+    if (options.listWorkloads) {
+        std::fputs(workloadListing().c_str(), stdout);
+        return 0;
+    }
 
     const std::vector<DesignPoint> points = options.expandPoints(&error);
     if (points.empty()) {
