@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Segregated free-list pool resource: size-class recycling over bump
+ * allocated arena chunks.
+ */
+
+#include "common/pool.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace palermo {
+
+namespace {
+
+/** Every carve is aligned to this; covers all node/bucket types. */
+constexpr std::size_t kPoolAlign = alignof(std::max_align_t);
+
+} // namespace
+
+PoolResource::PoolResource(std::size_t chunk_bytes)
+    : chunkBytes_(chunk_bytes)
+{
+    palermo_assert(chunk_bytes >= kPoolAlign);
+}
+
+PoolResource::~PoolResource() = default;
+
+std::size_t
+PoolResource::roundUp(std::size_t bytes)
+{
+    // A block must at least hold the intrusive free-list node.
+    if (bytes < sizeof(FreeNode))
+        bytes = sizeof(FreeNode);
+    return (bytes + kPoolAlign - 1) & ~(kPoolAlign - 1);
+}
+
+PoolResource::SizeClass &
+PoolResource::classFor(std::size_t rounded)
+{
+    // A container family produces a handful of distinct sizes (its
+    // node, plus geometric bucket-array steps); linear scan beats a
+    // map that would itself allocate.
+    for (SizeClass &sc : classes_) {
+        if (sc.bytes == rounded)
+            return sc;
+    }
+    classes_.push_back(SizeClass{rounded, nullptr});
+    return classes_.back();
+}
+
+void *
+PoolResource::allocate(std::size_t bytes, std::size_t align)
+{
+    if (align > kPoolAlign) {
+        // Over-aligned requests bypass the arena (none of the pooled
+        // containers need this; kept correct for generality).
+        return ::operator new(bytes, std::align_val_t(align));
+    }
+    const std::size_t rounded = roundUp(bytes);
+    liveBytes_ += rounded;
+
+    SizeClass &sc = classFor(rounded);
+    if (sc.head != nullptr) {
+        FreeNode *node = sc.head;
+        sc.head = node->next;
+        ++reuseHits_;
+        return node;
+    }
+    if (remaining_ < rounded) {
+        const std::size_t chunk = std::max(chunkBytes_, rounded);
+        chunks_.push_back(std::make_unique<unsigned char[]>(chunk));
+        cursor_ = chunks_.back().get();
+        remaining_ = chunk;
+    }
+    unsigned char *p = cursor_;
+    cursor_ += rounded;
+    remaining_ -= rounded;
+    return p;
+}
+
+void
+PoolResource::deallocate(void *p, std::size_t bytes, std::size_t align)
+{
+    if (p == nullptr)
+        return;
+    if (align > kPoolAlign) {
+        ::operator delete(p, std::align_val_t(align));
+        return;
+    }
+    const std::size_t rounded = roundUp(bytes);
+    palermo_assert(liveBytes_ >= rounded, "pool deallocate underflow");
+    liveBytes_ -= rounded;
+
+    SizeClass &sc = classFor(rounded);
+    FreeNode *node = static_cast<FreeNode *>(p);
+    node->next = sc.head;
+    sc.head = node;
+}
+
+} // namespace palermo

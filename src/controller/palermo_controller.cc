@@ -16,7 +16,9 @@ namespace palermo {
 
 PalermoController::PalermoController(std::unique_ptr<PalermoOram> protocol,
                                      const PalermoControllerConfig &config)
-    : protocol_(std::move(protocol)), config_(config)
+    : protocol_(std::move(protocol)), config_(config),
+      tagMap_(TagMap::allocator_type(&pool_)),
+      inFlightBlocks_(BlockMap::allocator_type(&pool_))
 {
     palermo_assert(protocol_ != nullptr);
     palermo_assert(config.columns >= 1);
@@ -73,8 +75,14 @@ PalermoController::push(BlockId pa, bool write, std::uint64_t value,
     ctx.startTick = kTickNever; // Set on first tick.
 
     for (unsigned level = 0; level < kHierLevels; ++level) {
-        pes_[col][level] = PeState{};
-        pes_[col][level].stage = PeStage::WaitLeaf;
+        // Reset in place: pe.plan keeps its buffer capacities and is
+        // overwritten by beginLevelInto() in the critical section.
+        PeState &pe = pes_[col][level];
+        pe.stage = PeStage::WaitLeaf;
+        pe.opIdx = 0;
+        pe.outstanding = 0;
+        pe.leafReadyAt = kTickNever;
+        pe.cleared = false;
     }
     ++activeColumns_;
     maxActiveColumns_ = std::max(maxActiveColumns_, activeColumns_);
@@ -185,7 +193,7 @@ PalermoController::stepPe(unsigned col, unsigned level, DramSystem &dram)
                 return;
             // Critical section: functional leaf resolve + remap +
             // pre-check reshuffles, applied in per-tree commit order.
-            pe.plan = protocol_->beginLevel(level, ctx.ids[level]);
+            protocol_->beginLevelInto(level, ctx.ids[level], &pe.plan);
             if (level == kLevelData) {
                 ctx.readValue =
                     protocol_->finishData(ctx.pa, ctx.write, ctx.value);

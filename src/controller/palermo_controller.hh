@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/pool.hh"
 #include "controller/controller.hh"
 #include "oram/palermo.hh"
 #include "oram/plan.hh"
@@ -141,9 +142,19 @@ class PalermoController : public Controller
      */
     std::uint64_t swGlobalCleared_ = 0;
 
+    using TagMap = std::unordered_map<
+        std::uint64_t, std::uint32_t, std::hash<std::uint64_t>,
+        std::equal_to<std::uint64_t>,
+        PoolAllocator<std::pair<const std::uint64_t, std::uint32_t>>>;
+    using BlockMap = std::unordered_map<
+        BlockId, unsigned, std::hash<BlockId>, std::equal_to<BlockId>,
+        PoolAllocator<std::pair<const BlockId, unsigned>>>;
+
+    PoolResource pool_; ///< Backs the maps below; declared before them.
+
     std::uint64_t nextTag_ = 1;
     /** Read tag -> (col, level). */
-    std::unordered_map<std::uint64_t, std::uint32_t> tagMap_;
+    TagMap tagMap_;
 
     /**
      * MSHR-style merge under prefetch: misses to a widened data block
@@ -151,7 +162,7 @@ class PalermoController : public Controller
      * fill returns all of the block's lines to the LLC), so no second
      * request is issued. Maps data-tree block -> in-flight count.
      */
-    std::unordered_map<BlockId, unsigned> inFlightBlocks_;
+    BlockMap inFlightBlocks_;
 
     unsigned activeColumns_ = 0;
     unsigned maxActiveColumns_ = 0;

@@ -15,7 +15,8 @@ SerialController::SerialController(std::unique_ptr<Protocol> protocol,
                                    std::size_t queue_limit,
                                    unsigned decrypt_latency)
     : protocol_(std::move(protocol)), issueWidth_(issue_width),
-      queueLimit_(queue_limit), decryptLatency_(decrypt_latency)
+      queueLimit_(queue_limit), decryptLatency_(decrypt_latency),
+      queue_(PoolAllocator<Pending>(&pool_))
 {
     palermo_assert(protocol_ != nullptr);
     palermo_assert(issue_width > 0 && queue_limit > 0);
@@ -34,7 +35,9 @@ SerialController::push(BlockId pa, bool write, std::uint64_t value,
     palermo_assert(canAccept());
     // Functional conversion happens at admission; the serial execution
     // order equals admission order, so plan-time state is consistent.
-    for (RequestPlan &plan : protocol_->access(pa, write, value)) {
+    planScratch_.clear();
+    protocol_->accessInto(pa, write, value, &planScratch_);
+    for (RequestPlan &plan : planScratch_) {
         Pending pending;
         pending.plan = std::move(plan);
         pending.dummy = dummy || pending.plan.dummy;
@@ -63,6 +66,7 @@ SerialController::retire(Pending &req, Tick now)
     if (req.plan.llcHit) {
         ++stats_.llcHits;
         ++stats_.served;
+        protocol_->recyclePlan(std::move(req.plan));
         return;
     }
     const Tick response =
@@ -81,6 +85,7 @@ SerialController::retire(Pending &req, Tick now)
         }
         stats_.samples.push_back({latency, from_stash});
     }
+    protocol_->recyclePlan(std::move(req.plan));
 }
 
 void

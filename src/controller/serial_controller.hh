@@ -16,7 +16,9 @@
 
 #include <deque>
 #include <memory>
+#include <vector>
 
+#include "common/pool.hh"
 #include "controller/controller.hh"
 #include "oram/hierarchy.hh"
 #include "oram/plan.hh"
@@ -72,7 +74,9 @@ class SerialController : public Controller
     unsigned issueWidth_;
     std::size_t queueLimit_;
     unsigned decryptLatency_;
-    std::deque<Pending> queue_;
+    PoolResource pool_; ///< Backs queue_; declared before it.
+    std::deque<Pending, PoolAllocator<Pending>> queue_;
+    std::vector<RequestPlan> planScratch_; ///< push() staging buffer.
 };
 
 } // namespace palermo

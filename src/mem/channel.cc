@@ -32,7 +32,12 @@ ChannelStats::reset()
 Channel::Channel(const DramOrg &org, const DramTiming &timing,
                  unsigned queue_depth)
     : org_(org), timing_(timing), queueDepth_(queue_depth),
-      banks_(org.banksPerChannel()), nextRefresh_(timing.tREFI),
+      banks_(org.banksPerChannel()),
+      readQueue_(PoolAllocator<Entry>(&pool_)),
+      writeQueue_(PoolAllocator<Entry>(&pool_)),
+      rowWant_(RowWantMap::allocator_type(&pool_)),
+      actWindow_(PoolAllocator<Tick>(&pool_)),
+      nextRefresh_(timing.tREFI),
       drainHigh_(std::max(2u, queue_depth * 3 / 4)),
       drainLow_(std::max(1u, queue_depth / 4))
 {
@@ -45,22 +50,38 @@ Channel::canEnqueue(bool is_write) const
     return queue.size() < queueDepth_;
 }
 
+void
+Channel::trackEnqueue(const Entry &e)
+{
+    ++rowWant_[rowKey(e.flatBank, e.dec.row)];
+}
+
+void
+Channel::trackDequeue(const Entry &e)
+{
+    const auto it = rowWant_.find(rowKey(e.flatBank, e.dec.row));
+    if (--it->second == 0)
+        rowWant_.erase(it);
+}
+
 bool
 Channel::enqueue(const DecodedAddr &dec, bool is_write, std::uint64_t tag,
                  Tick now)
 {
+    const unsigned flat_bank = dec.flatBank(org_);
     if (is_write) {
         // Coalesce with an already-queued write to the same line.
         for (auto &entry : writeQueue_) {
             if (entry.dec.row == dec.row && entry.dec.column == dec.column
-                && entry.dec.flatBank(org_) == dec.flatBank(org_)) {
+                && entry.flatBank == flat_bank) {
                 stats_.coalescedWrites.inc();
                 return true;
             }
         }
         if (writeQueue_.size() >= queueDepth_)
             return false;
-        writeQueue_.push_back({dec, tag, now});
+        writeQueue_.push_back({dec, tag, now, flat_bank});
+        trackEnqueue(writeQueue_.back());
         stats_.writes.inc();
         return true;
     }
@@ -71,7 +92,7 @@ Channel::enqueue(const DecodedAddr &dec, bool is_write, std::uint64_t tag,
     // issued but not yet committed to the array.
     for (const auto &entry : writeQueue_) {
         if (entry.dec.row == dec.row && entry.dec.column == dec.column
-            && entry.dec.flatBank(org_) == dec.flatBank(org_)) {
+            && entry.flatBank == flat_bank) {
             stats_.forwardedReads.inc();
             stats_.reads.inc();
             const Tick finish = now + timing_.tCL;
@@ -82,7 +103,8 @@ Channel::enqueue(const DecodedAddr &dec, bool is_write, std::uint64_t tag,
     }
     if (readQueue_.size() >= queueDepth_)
         return false;
-    readQueue_.push_back({dec, tag, now});
+    readQueue_.push_back({dec, tag, now, flat_bank});
+    trackEnqueue(readQueue_.back());
     return true;
 }
 
@@ -156,22 +178,15 @@ Channel::handleRefresh(Tick now)
 bool
 Channel::rowWanted(std::uint64_t flat_bank, std::uint64_t row) const
 {
-    for (const auto &e : readQueue_) {
-        if (e.dec.flatBank(org_) == flat_bank && e.dec.row == row)
-            return true;
-    }
-    for (const auto &e : writeQueue_) {
-        if (e.dec.flatBank(org_) == flat_bank && e.dec.row == row)
-            return true;
-    }
-    return false;
+    // Exact mirror of a scan over both queues: rowWant_ counts every
+    // queued entry by (flat bank, row).
+    return rowWant_.find(rowKey(flat_bank, row)) != rowWant_.end();
 }
 
 bool
 Channel::casTimingOk(Tick now, const Entry &e, bool is_write) const
 {
-    const unsigned flat_bank = e.dec.flatBank(org_);
-    const Bank &bank = banks_[flat_bank];
+    const Bank &bank = banks_[e.flatBank];
     if (!bank.isOpen() || bank.openRow() != e.dec.row)
         return false;
     if (!bank.canColumn(now, is_write))
@@ -200,19 +215,15 @@ Channel::casTimingOk(Tick now, const Entry &e, bool is_write) const
 bool
 Channel::actTimingOk(Tick now, const Entry &e) const
 {
-    const Bank &bank = banks_[e.dec.flatBank(org_)];
+    // tRRD_S and tFAW are entry-independent; tryActivate checks them
+    // once before scanning.
+    const Bank &bank = banks_[e.flatBank];
     if (!bank.canActivate(now))
         return false;
-    if (lastActValid_) {
-        if (now < lastAct_ + timing_.tRRD_S)
-            return false;
-        if (e.dec.bankGroup == lastActBankGroup_
-            && now < lastAct_ + timing_.tRRD_L) {
-            return false;
-        }
-    }
-    if (actWindow_.size() >= 4 && now < actWindow_.front() + timing_.tFAW)
+    if (lastActValid_ && e.dec.bankGroup == lastActBankGroup_
+        && now < lastAct_ + timing_.tRRD_L) {
         return false;
+    }
     return true;
 }
 
@@ -251,13 +262,24 @@ Channel::recordCas(Tick now, Entry &e, bool is_write)
 }
 
 bool
-Channel::tryColumn(Tick now, std::deque<Entry> &queue, bool is_write)
+Channel::tryColumn(Tick now, EntryQueue &queue, bool is_write)
 {
+    // Entry-independent gates, hoisted out of the scan: no entry can
+    // pass casTimingOk while the shortest CAS-to-CAS gap is pending or
+    // the data bus is reserved past this burst's start.
+    if (lastCasValid_
+        && now < lastCas_ + std::min(timing_.tCCD_L, timing_.tCCD_S)) {
+        return false;
+    }
+    const Tick data_start = now + (is_write ? timing_.tCWL : timing_.tCL);
+    if (data_start < busFreeAt_)
+        return false;
+
     for (auto it = queue.begin(); it != queue.end(); ++it) {
         if (!casTimingOk(now, *it, is_write))
             continue;
         Entry entry = *it;
-        banks_[entry.dec.flatBank(org_)].column(now, is_write, timing_);
+        banks_[entry.flatBank].column(now, is_write, timing_);
         recordCas(now, entry, is_write);
         if (!is_write) {
             const Tick finish = now + timing_.tCL + timing_.tBL;
@@ -266,6 +288,7 @@ Channel::tryColumn(Tick now, std::deque<Entry> &queue, bool is_write)
             stats_.readLatency.sample(
                 static_cast<double>(finish - entry.enqueueTick));
         }
+        trackDequeue(entry);
         queue.erase(it);
         return true;
     }
@@ -273,16 +296,22 @@ Channel::tryColumn(Tick now, std::deque<Entry> &queue, bool is_write)
 }
 
 bool
-Channel::tryActivate(Tick now, std::deque<Entry> &queue)
+Channel::tryActivate(Tick now, EntryQueue &queue)
 {
+    // Entry-independent ACT gates (tRRD_S, tFAW), hoisted out of the
+    // scan; actTimingOk keeps the per-bank-group tRRD_L check.
+    if (lastActValid_ && now < lastAct_ + timing_.tRRD_S)
+        return false;
+    if (actWindow_.size() >= 4 && now < actWindow_.front() + timing_.tFAW)
+        return false;
+
     for (auto &entry : queue) {
-        const Bank &bank = banks_[entry.dec.flatBank(org_)];
+        const Bank &bank = banks_[entry.flatBank];
         if (bank.isOpen())
             continue;
         if (!actTimingOk(now, entry))
             continue;
-        banks_[entry.dec.flatBank(org_)].activate(now, entry.dec.row,
-                                                  timing_);
+        banks_[entry.flatBank].activate(now, entry.dec.row, timing_);
         entry.hadActivate = true;
         lastAct_ = now;
         lastActBankGroup_ = entry.dec.bankGroup;
@@ -296,30 +325,64 @@ Channel::tryActivate(Tick now, std::deque<Entry> &queue)
 }
 
 bool
-Channel::tryPrecharge(Tick now, std::deque<Entry> &queue, bool is_write)
+Channel::tryPrecharge(Tick now, EntryQueue &queue, bool is_write)
 {
-    for (auto &entry : queue) {
-        const unsigned flat_bank = entry.dec.flatBank(org_);
-        Bank &bank = banks_[flat_bank];
-        if (!bank.isOpen() || bank.openRow() == entry.dec.row)
+    // Short queues: the entry-major scan touches fewer banks than a
+    // bank-major sweep would.
+    if (queue.size() <= 8) {
+        for (auto &entry : queue) {
+            Bank &bank = banks_[entry.flatBank];
+            if (!bank.isOpen() || bank.openRow() == entry.dec.row)
+                continue;
+            // FR-FCFS: do not close a row other requests still want.
+            if (rowWanted(entry.flatBank, bank.openRow()))
+                continue;
+            if (!bank.canPrecharge(now))
+                continue;
+            bank.precharge(now, timing_);
+            entry.hadConflict = true;
+            return true;
+        }
+        (void)is_write;
+        return false;
+    }
+
+    // Bank-major scan: whether a bank may be closed is entry-independent
+    // (open, precharge timing met, open row wanted by no queued request —
+    // an entry whose row IS the open row keeps it wanted, so a flagged
+    // bank always mismatches every queued entry's row). The first entry
+    // in queue order whose bank is flagged is exactly the entry the
+    // original entry-major scan would have picked.
+    prechargeOk_.assign(banks_.size(), 0);
+    bool any = false;
+    for (std::size_t b = 0; b < banks_.size(); ++b) {
+        Bank &bank = banks_[b];
+        if (!bank.isOpen() || !bank.canPrecharge(now))
             continue;
         // FR-FCFS: do not close a row other requests still want.
-        if (rowWanted(flat_bank, bank.openRow()))
+        if (rowWanted(b, bank.openRow()))
             continue;
-        if (!bank.canPrecharge(now))
+        prechargeOk_[b] = 1;
+        any = true;
+    }
+    if (!any) {
+        (void)is_write;
+        return false;
+    }
+    for (auto &entry : queue) {
+        if (!prechargeOk_[entry.flatBank])
             continue;
-        bank.precharge(now, timing_);
+        banks_[entry.flatBank].precharge(now, timing_);
         entry.hadConflict = true;
         return true;
     }
     // Also mark conflicts for entries whose bank got closed on their
     // behalf earlier: handled by hadConflict flag persistence.
-    (void)is_write;
     return false;
 }
 
 bool
-Channel::trySchedule(Tick now, std::deque<Entry> &queue, bool is_write)
+Channel::trySchedule(Tick now, EntryQueue &queue, bool is_write)
 {
     if (queue.empty())
         return false;

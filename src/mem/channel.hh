@@ -11,8 +11,10 @@
 #include <cstdint>
 #include <deque>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
+#include "common/pool.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/address_map.hh"
@@ -90,6 +92,7 @@ class Channel
         DecodedAddr dec;
         std::uint64_t tag;
         Tick enqueueTick;
+        unsigned flatBank; ///< Cached dec.flatBank(org_).
         bool hadActivate = false;
         bool hadConflict = false;
     };
@@ -101,12 +104,15 @@ class Channel
         bool operator>(const BusEvent &o) const { return tick > o.tick; }
     };
 
+    /** Pool-backed request queue: deque chunks recycle across requests. */
+    using EntryQueue = std::deque<Entry, PoolAllocator<Entry>>;
+
     // Scheduling helpers; each issues at most one command and returns
     // true if a command went out this cycle.
-    bool trySchedule(Tick now, std::deque<Entry> &queue, bool is_write);
-    bool tryColumn(Tick now, std::deque<Entry> &queue, bool is_write);
-    bool tryActivate(Tick now, std::deque<Entry> &queue);
-    bool tryPrecharge(Tick now, std::deque<Entry> &queue, bool is_write);
+    bool trySchedule(Tick now, EntryQueue &queue, bool is_write);
+    bool tryColumn(Tick now, EntryQueue &queue, bool is_write);
+    bool tryActivate(Tick now, EntryQueue &queue);
+    bool tryPrecharge(Tick now, EntryQueue &queue, bool is_write);
     void handleRefresh(Tick now);
 
     bool casTimingOk(Tick now, const Entry &e, bool is_write) const;
@@ -115,13 +121,30 @@ class Channel
     void recordCas(Tick now, Entry &e, bool is_write);
     void scheduleBusBeat(Tick start, Tick end);
 
+    /** Key of the queued-request count per (flat bank, row). */
+    static std::uint64_t rowKey(std::uint64_t flat_bank, std::uint64_t row)
+    {
+        return (row << 16) | flat_bank;
+    }
+    void trackEnqueue(const Entry &e);
+    void trackDequeue(const Entry &e);
+
     const DramOrg org_;
     const DramTiming timing_;
     const unsigned queueDepth_;
 
+    /** Queued requests per (flat bank, row); exact rowWanted() lookup. */
+    using RowWantMap = std::unordered_map<
+        std::uint64_t, std::uint32_t, std::hash<std::uint64_t>,
+        std::equal_to<std::uint64_t>,
+        PoolAllocator<std::pair<const std::uint64_t, std::uint32_t>>>;
+
     std::vector<Bank> banks_;
-    std::deque<Entry> readQueue_;
-    std::deque<Entry> writeQueue_;
+    PoolResource pool_; ///< Backs the containers below; declared first.
+    EntryQueue readQueue_;
+    EntryQueue writeQueue_;
+    RowWantMap rowWant_;
+    std::vector<std::uint8_t> prechargeOk_; ///< tryPrecharge scratch.
     std::vector<Completion> completions_;
 
     // Channel-level gating state.
@@ -135,7 +158,7 @@ class Channel
     Tick lastAct_ = 0;
     unsigned lastActBankGroup_ = 0;
     bool lastActValid_ = false;
-    std::deque<Tick> actWindow_;    ///< Last four ACT ticks (tFAW).
+    std::deque<Tick, PoolAllocator<Tick>> actWindow_; ///< Last 4 ACTs (tFAW).
 
     // Refresh state.
     Tick nextRefresh_;

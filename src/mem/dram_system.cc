@@ -66,7 +66,7 @@ DramSystem::tick()
     ++now_;
 }
 
-std::vector<Completion>
+const std::vector<Completion> &
 DramSystem::drainCompletions()
 {
     // Move channel completions whose finish tick has passed into the

@@ -73,9 +73,10 @@ class DramSystem
 
     /**
      * Collect read completions that became visible by the current tick,
-     * in finish order. The internal buffers are drained.
+     * in finish order. The internal buffers are drained; the returned
+     * reference is valid until the next drain.
      */
-    std::vector<Completion> drainCompletions();
+    const std::vector<Completion> &drainCompletions();
 
     /** True if any channel moved data during the last tick. */
     bool dataBusActive() const;

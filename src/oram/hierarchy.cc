@@ -53,7 +53,9 @@ cachedLevelsFor(const OramParams &params, std::uint64_t bytes)
     return levels;
 }
 
-PrefetchFilter::PrefetchFilter(std::size_t capacity) : capacity_(capacity)
+PrefetchFilter::PrefetchFilter(std::size_t capacity)
+    : capacity_(capacity), lru_(Lru::allocator_type(&pool_)),
+      map_(Index::allocator_type(&pool_))
 {
     palermo_assert(capacity > 0);
 }
@@ -64,9 +66,8 @@ PrefetchFilter::hit(BlockId line)
     auto it = map_.find(line);
     if (it == map_.end())
         return false;
-    lru_.erase(it->second);
-    lru_.push_front(line);
-    it->second = lru_.begin();
+    // Relink in place: no node allocation, iterator stays valid.
+    lru_.splice(lru_.begin(), lru_, it->second);
     return true;
 }
 
@@ -75,9 +76,7 @@ PrefetchFilter::insert(BlockId line)
 {
     auto it = map_.find(line);
     if (it != map_.end()) {
-        lru_.erase(it->second);
-        lru_.push_front(line);
-        it->second = lru_.begin();
+        lru_.splice(lru_.begin(), lru_, it->second);
         return;
     }
     lru_.push_front(line);
@@ -86,6 +85,32 @@ PrefetchFilter::insert(BlockId line)
         map_.erase(lru_.back());
         lru_.pop_back();
     }
+}
+
+RequestPlan
+PlanRecycler::acquire(std::size_t levels)
+{
+    RequestPlan plan;
+    if (!free_.empty()) {
+        plan = std::move(free_.back());
+        free_.pop_back();
+    }
+    plan.pa = kInvalid;
+    plan.write = false;
+    plan.dummy = false;
+    plan.llcHit = false;
+    plan.value = 0;
+    plan.levels.resize(levels);
+    for (LevelPlan &level : plan.levels)
+        level.reset();
+    return plan;
+}
+
+void
+PlanRecycler::recycle(RequestPlan &&plan)
+{
+    if (free_.size() < kMaxFree)
+        free_.push_back(std::move(plan));
 }
 
 } // namespace palermo

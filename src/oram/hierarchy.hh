@@ -17,8 +17,10 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/pool.hh"
 #include "common/types.hh"
 #include "oram/oram_params.hh"
 #include "oram/plan.hh"
@@ -122,9 +124,43 @@ class PrefetchFilter
     std::size_t size() const { return map_.size(); }
 
   private:
+    /** Pooled LRU list + index so residency churn stays off the heap. */
+    using Lru = std::list<BlockId, PoolAllocator<BlockId>>;
+    using Index = std::unordered_map<
+        BlockId, Lru::iterator, std::hash<BlockId>, std::equal_to<BlockId>,
+        PoolAllocator<std::pair<const BlockId, Lru::iterator>>>;
+
     std::size_t capacity_;
-    std::list<BlockId> lru_;
-    std::unordered_map<BlockId, std::list<BlockId>::iterator> map_;
+    PoolResource pool_; ///< Declared before the containers it backs.
+    Lru lru_;
+    Index map_;
+};
+
+/**
+ * LIFO free list of whole RequestPlans. acquire() revives the most
+ * recently retired plan with its level and phase-op buffer capacities
+ * intact, so a steady-state protocol loop stops allocating once its
+ * plans have grown to the access working set. Owned by the Protocol
+ * base; the driving controller feeds retired plans back via
+ * Protocol::recyclePlan().
+ */
+class PlanRecycler
+{
+  public:
+    /** Take a plan resized to `levels` LevelPlans, scalars reset. */
+    RequestPlan acquire(std::size_t levels);
+
+    /** Return a retired plan for later reuse. */
+    void recycle(RequestPlan &&plan);
+
+    std::size_t freeCount() const { return free_.size(); }
+
+  private:
+    /** Bound on hoarded plans; controllers retire promptly, so the
+     *  steady-state population is the controller queue depth. */
+    static constexpr std::size_t kMaxFree = 64;
+
+    std::vector<RequestPlan> free_;
 };
 
 /** Serial-protocol interface consumed by the baseline controller. */
@@ -136,17 +172,34 @@ class Protocol
     virtual const char *name() const = 0;
 
     /**
-     * Convert one LLC miss into ORAM request plans. Most protocols
-     * return exactly one plan; PrORAM may prepend background-eviction
-     * dummies or return a single llcHit plan when the prefetch filter
-     * absorbs the miss.
+     * Convert one LLC miss into ORAM request plans, appended to *out
+     * (which is not cleared). Most protocols append exactly one plan;
+     * PrORAM may prepend background-eviction dummies or append a single
+     * llcHit plan when the prefetch filter absorbs the miss. Plans come
+     * from the recycler, so controllers should hand retired plans back
+     * via recyclePlan() to keep the steady state allocation-free.
      *
      * @param pa Missing 64B line in the protected space.
      * @param write True for store misses.
      * @param value Payload for writes.
      */
-    virtual std::vector<RequestPlan> access(BlockId pa, bool write,
-                                            std::uint64_t value) = 0;
+    virtual void accessInto(BlockId pa, bool write, std::uint64_t value,
+                            std::vector<RequestPlan> *out) = 0;
+
+    /** accessInto() convenience wrapper (tests and benches). */
+    std::vector<RequestPlan>
+    access(BlockId pa, bool write, std::uint64_t value)
+    {
+        std::vector<RequestPlan> out;
+        accessInto(pa, write, value, &out);
+        return out;
+    }
+
+    /** Hand a retired plan back for buffer reuse. */
+    void recyclePlan(RequestPlan &&plan)
+    {
+        recycler_.recycle(std::move(plan));
+    }
 
     /** Stash of a hierarchy level (occupancy studies). */
     virtual const Stash &stashOf(unsigned level) const = 0;
@@ -156,6 +209,9 @@ class Protocol
 
     /** Blocks of the protected space (for trace sizing). */
     virtual std::uint64_t numBlocks() const = 0;
+
+  protected:
+    PlanRecycler recycler_; ///< Plan free list shared by subclasses.
 };
 
 } // namespace palermo

@@ -58,12 +58,10 @@ IrOram::residentOnChip(BlockId pa) const
     return false;
 }
 
-std::vector<RequestPlan>
-IrOram::access(BlockId pa, bool write, std::uint64_t value)
+void
+IrOram::accessInto(BlockId pa, bool write, std::uint64_t value,
+                   std::vector<RequestPlan> *out)
 {
-    RequestPlan plan;
-    plan.pa = pa;
-    plan.write = write;
     ++irStats_.accesses;
 
     // PosMap bypass: if the tracked table covers this PA and the block
@@ -72,6 +70,11 @@ IrOram::access(BlockId pa, bool write, std::uint64_t value)
     const bool bypass = table_.hit(pa) && residentOnChip(pa);
     const auto ids = config_.decompose(pa);
 
+    RequestPlan plan = recycler_.acquire(bypass ? 1 : kHierLevels);
+    plan.pa = pa;
+    plan.write = write;
+
+    std::size_t slot = 0;
     if (!bypass) {
         for (unsigned level = kHierLevels; level-- > 1;) {
             PathEngine &engine = *engines_[level];
@@ -80,9 +83,9 @@ IrOram::access(BlockId pa, bool write, std::uint64_t value)
             const Leaf leaf = pm.get(block);
             const Leaf new_leaf = rng_.range(engine.params().numLeaves);
             pm.set(block, new_leaf);
-            LevelPlan level_plan = engine.access(block, leaf, new_leaf);
+            LevelPlan &level_plan = plan.levels[slot++];
+            engine.accessInto(block, leaf, new_leaf, &level_plan);
             level_plan.level = level;
-            plan.levels.push_back(std::move(level_plan));
         }
     } else {
         ++irStats_.posmapBypasses;
@@ -93,9 +96,9 @@ IrOram::access(BlockId pa, bool write, std::uint64_t value)
     const Leaf leaf = pm0.get(pa);
     const Leaf new_leaf = rng_.range(data.params().numLeaves);
     pm0.set(pa, new_leaf);
-    LevelPlan level_plan = data.access(pa, leaf, new_leaf);
+    LevelPlan &level_plan = plan.levels[slot];
+    data.accessInto(pa, leaf, new_leaf, &level_plan);
     level_plan.level = kLevelData;
-    plan.levels.push_back(std::move(level_plan));
 
     table_.insert(pa);
 
@@ -103,9 +106,7 @@ IrOram::access(BlockId pa, bool write, std::uint64_t value)
         data.setPayload(pa, value);
     plan.value = data.payloadOf(pa);
 
-    std::vector<RequestPlan> plans;
-    plans.push_back(std::move(plan));
-    return plans;
+    out->push_back(std::move(plan));
 }
 
 const Stash &

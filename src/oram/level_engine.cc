@@ -63,19 +63,20 @@ RingEngine::resetBucket(NodeId node, std::vector<MemOp> &read_ops,
     // Functional: remaining valid blocks go to the stash. If the reset
     // pulls in the in-flight target, it keeps its (already-remapped)
     // destiny: ReadPath serves it from the stash afterwards.
-    for (const BlockContent &content : meta.takeAllValid())
+    meta.takeAllValidInto(&takeScratch_);
+    for (const BlockContent &content : takeScratch_)
         stash_.put(content.block, content.leaf, content.payload);
 
     // ...then WriteBucket refills from eligible stash blocks.
-    std::vector<BlockId> chosen =
-        stash_.eligibleFor(node, params_, capacity, inFlight_);
-    std::vector<BlockContent> refill;
-    refill.reserve(chosen.size());
-    for (BlockId block : chosen) {
+    stash_.eligibleForInto(node, params_, capacity, inFlight_,
+                           &chosenScratch_);
+    refillScratch_.clear();
+    refillScratch_.reserve(chosenScratch_.size());
+    for (BlockId block : chosenScratch_) {
         const StashEntry entry = stash_.take(block);
-        refill.push_back({block, entry.payload, entry.leaf});
+        refillScratch_.push_back({block, entry.payload, entry.leaf});
     }
-    meta.resetWith(refill);
+    meta.resetWith(refillScratch_);
 
     // Write-back: the whole bucket is re-encrypted and rewritten, plus
     // its metadata line.
@@ -87,35 +88,48 @@ RingEngine::resetBucket(NodeId node, std::vector<MemOp> &read_ops,
 LevelPlan
 RingEngine::access(BlockId block, Leaf leaf, Leaf new_leaf)
 {
+    LevelPlan plan;
+    accessInto(block, leaf, new_leaf, &plan);
+    return plan;
+}
+
+void
+RingEngine::accessInto(BlockId block, Leaf leaf, Leaf new_leaf,
+                       LevelPlan *plan)
+{
     palermo_assert(block < params_.numBlocks, "block outside tree space");
     palermo_assert(leaf < params_.numLeaves);
     palermo_assert(new_leaf < params_.numLeaves);
 
-    LevelPlan plan;
-    plan.block = block;
-    plan.oldLeaf = leaf;
-    plan.newLeaf = new_leaf;
+    plan->reset();
+    plan->block = block;
+    plan->oldLeaf = leaf;
+    plan->newLeaf = new_leaf;
     inFlight_ = block;
 
-    const std::vector<NodeId> path = params_.pathNodes(leaf);
+    params_.pathNodesInto(leaf, &pathScratch_);
+    const std::vector<NodeId> &path = pathScratch_;
+    lmScratch_.clear();
+    erReadScratch_.clear();
+    erWriteScratch_.clear();
+    rpScratch_.clear();
+    epReadScratch_.clear();
+    epWriteScratch_.clear();
+    bypassScratch_.clear();
 
     // LM: load path metadata (valid bits, access counters).
-    Phase lm{PhaseKind::LoadMeta, {}};
     for (NodeId node : path)
-        appendMeta(lm.ops, node, false);
+        appendMeta(lmScratch_, node, false);
 
     // ER: EarlyReshuffle — before (Pre) or after (Post) ReadPath.
-    Phase er_read{PhaseKind::ResetRead, {}};
-    Phase er_write{PhaseKind::ResetWrite, {}};
-    std::vector<NodeId> bypassed;
     if (mode_ == ReshuffleMode::Pre) {
         // Palermo Algorithm 2: reset at S-1 so this access's touch can
         // never exhaust the dummies, and bypass the node in ReadPath.
         for (NodeId node : path) {
             NodeMeta &meta = tree_.node(node);
             if (meta.accessed() >= params_.s - 1) {
-                resetBucket(node, er_read.ops, er_write.ops);
-                bypassed.push_back(node);
+                resetBucket(node, erReadScratch_, erWriteScratch_);
+                bypassScratch_.push_back(node);
                 ++stats_.earlyReshuffles;
             }
         }
@@ -123,11 +137,10 @@ RingEngine::access(BlockId block, Leaf leaf, Leaf new_leaf)
 
     // RP: one slot per non-bypassed path node; the real block where
     // present, a random unused dummy elsewhere.
-    Phase rp{PhaseKind::ReadPath, {}};
     bool found = false;
     for (NodeId node : path) {
-        if (std::find(bypassed.begin(), bypassed.end(), node)
-            != bypassed.end()) {
+        if (std::find(bypassScratch_.begin(), bypassScratch_.end(), node)
+            != bypassScratch_.end()) {
             continue;
         }
         NodeMeta &meta = tree_.node(node);
@@ -137,17 +150,17 @@ RingEngine::access(BlockId block, Leaf leaf, Leaf new_leaf)
                 meta.takeReal(static_cast<unsigned>(real_slot));
             stash_.put(content.block, new_leaf, content.payload);
             found = true;
-            appendSlot(rp.ops, node, static_cast<unsigned>(real_slot),
+            appendSlot(rpScratch_, node, static_cast<unsigned>(real_slot),
                        false);
         } else {
             const int dummy_slot = meta.touchDummy(rng_);
             palermo_assert(dummy_slot >= 0,
                            "no usable dummy: reshuffle protocol violated");
-            appendSlot(rp.ops, node, static_cast<unsigned>(dummy_slot),
+            appendSlot(rpScratch_, node, static_cast<unsigned>(dummy_slot),
                        false);
         }
         // NodeMetadata[NodeID].update(): persist the consumed valid bit.
-        appendMeta(rp.ops, node, true);
+        appendMeta(rpScratch_, node, true);
     }
 
     if (!found) {
@@ -155,13 +168,13 @@ RingEngine::access(BlockId block, Leaf leaf, Leaf new_leaf)
             // Pending block: already resident in the stash (possibly
             // brought in by this or an earlier concurrent request, or by
             // a bypassed bucket's reset pulling it in above).
-            plan.servedFromStash = true;
+            plan->servedFromStash = true;
             stash_.remap(block, new_leaf);
             ++stats_.stashServes;
         } else {
             // First-ever touch: the block has never been written to the
             // tree; conjure it with a zero payload.
-            plan.freshBlock = true;
+            plan->freshBlock = true;
             stash_.put(block, new_leaf, 0);
             ++stats_.freshBlocks;
         }
@@ -174,7 +187,7 @@ RingEngine::access(BlockId block, Leaf leaf, Leaf new_leaf)
         for (NodeId node : path) {
             NodeMeta &meta = tree_.node(node);
             if (meta.accessed() >= params_.s) {
-                resetBucket(node, er_read.ops, er_write.ops);
+                resetBucket(node, erReadScratch_, erWriteScratch_);
                 ++stats_.earlyReshuffles;
             }
         }
@@ -183,13 +196,12 @@ RingEngine::access(BlockId block, Leaf leaf, Leaf new_leaf)
     // EP: deterministic eviction every A accesses.
     ++accessCount_;
     ++stats_.accesses;
-    Phase ep_read{PhaseKind::EvictRead, {}};
-    Phase ep_write{PhaseKind::EvictWrite, {}};
     if (accessCount_ % params_.a == 0) {
-        plan.hasEvict = true;
+        plan->hasEvict = true;
         ++stats_.evictions;
         const Leaf g = evictionLeaf(evictCounter_++, params_.numLeaves);
-        const std::vector<NodeId> evict_path = params_.pathNodes(g);
+        params_.pathNodesInto(g, &evictScratch_);
+        const std::vector<NodeId> &evict_path = evictScratch_;
 
         // Fetch all remaining valid blocks on the eviction path into the
         // stash (Z-padded reads per node)...
@@ -198,8 +210,9 @@ RingEngine::access(BlockId block, Leaf leaf, Leaf new_leaf)
             const unsigned capacity =
                 params_.capacityAt(params_.levelOf(node));
             for (unsigned i = 0; i < capacity; ++i)
-                appendSlot(ep_read.ops, node, i, false);
-            for (const BlockContent &content : meta.takeAllValid())
+                appendSlot(epReadScratch_, node, i, false);
+            meta.takeAllValidInto(&takeScratch_);
+            for (const BlockContent &content : takeScratch_)
                 stash_.put(content.block, content.leaf, content.payload);
         }
         // ...then push back leaf-to-root so blocks land as deep as their
@@ -208,37 +221,43 @@ RingEngine::access(BlockId block, Leaf leaf, Leaf new_leaf)
             const NodeId node = *it;
             const unsigned level = params_.levelOf(node);
             const unsigned capacity = params_.capacityAt(level);
-            std::vector<BlockId> chosen =
-                stash_.eligibleFor(node, params_, capacity, inFlight_);
-            std::vector<BlockContent> refill;
-            refill.reserve(chosen.size());
-            for (BlockId b : chosen) {
+            stash_.eligibleForInto(node, params_, capacity, inFlight_,
+                                   &chosenScratch_);
+            refillScratch_.clear();
+            refillScratch_.reserve(chosenScratch_.size());
+            for (BlockId b : chosenScratch_) {
                 const StashEntry entry = stash_.take(b);
-                refill.push_back({b, entry.payload, entry.leaf});
+                refillScratch_.push_back({b, entry.payload, entry.leaf});
             }
-            tree_.node(node).resetWith(refill);
+            tree_.node(node).resetWith(refillScratch_);
             for (unsigned i = 0; i < params_.slotsAt(level); ++i)
-                appendSlot(ep_write.ops, node, i, true);
-            appendMeta(ep_write.ops, node, true);
+                appendSlot(epWriteScratch_, node, i, true);
+            appendMeta(epWriteScratch_, node, true);
         }
     }
 
-    // Assemble phases in this protocol's execution order.
-    plan.phases.push_back(std::move(lm));
+    // Assemble phases in this protocol's execution order; the swaps
+    // move the staged ops into the plan's recycled slot buffers.
+    plan->phases.emplaceBack(PhaseKind::LoadMeta).ops.swap(lmScratch_);
     if (mode_ == ReshuffleMode::Pre) {
-        plan.phases.push_back(std::move(er_read));
-        plan.phases.push_back(std::move(er_write));
-        plan.phases.push_back(std::move(rp));
+        plan->phases.emplaceBack(PhaseKind::ResetRead)
+            .ops.swap(erReadScratch_);
+        plan->phases.emplaceBack(PhaseKind::ResetWrite)
+            .ops.swap(erWriteScratch_);
+        plan->phases.emplaceBack(PhaseKind::ReadPath).ops.swap(rpScratch_);
     } else {
-        plan.phases.push_back(std::move(rp));
-        plan.phases.push_back(std::move(er_read));
-        plan.phases.push_back(std::move(er_write));
+        plan->phases.emplaceBack(PhaseKind::ReadPath).ops.swap(rpScratch_);
+        plan->phases.emplaceBack(PhaseKind::ResetRead)
+            .ops.swap(erReadScratch_);
+        plan->phases.emplaceBack(PhaseKind::ResetWrite)
+            .ops.swap(erWriteScratch_);
     }
-    if (plan.hasEvict) {
-        plan.phases.push_back(std::move(ep_read));
-        plan.phases.push_back(std::move(ep_write));
+    if (plan->hasEvict) {
+        plan->phases.emplaceBack(PhaseKind::EvictRead)
+            .ops.swap(epReadScratch_);
+        plan->phases.emplaceBack(PhaseKind::EvictWrite)
+            .ops.swap(epWriteScratch_);
     }
-    return plan;
 }
 
 void

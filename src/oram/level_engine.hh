@@ -80,6 +80,10 @@ class RingEngine
      */
     LevelPlan access(BlockId block, Leaf leaf, Leaf new_leaf);
 
+    /** access() into a recycled plan (resets it first). */
+    void accessInto(BlockId block, Leaf leaf, Leaf new_leaf,
+                    LevelPlan *plan);
+
     /**
      * Bulk-load one block during initial ORAM construction: place it as
      * deep as possible on its assigned path (stash as last resort).
@@ -143,6 +147,24 @@ class RingEngine
      */
     BlockId inFlight_ = kInvalid;
     EngineStats stats_;
+
+    // Per-access scratch buffers, reused across accesses so the steady
+    // state allocates nothing. Phase ops are staged here and swapped
+    // into the plan's recycled slots at assembly; the swap hands back
+    // the slot's previous buffer, so capacity ping-pongs between the
+    // engine and the plans instead of returning to the heap.
+    std::vector<NodeId> pathScratch_;    ///< ReadPath node ids.
+    std::vector<NodeId> evictScratch_;   ///< EvictPath node ids.
+    std::vector<NodeId> bypassScratch_;  ///< Pre-mode bypassed nodes.
+    std::vector<MemOp> lmScratch_;       ///< LM phase ops.
+    std::vector<MemOp> erReadScratch_;   ///< ER fetch ops.
+    std::vector<MemOp> erWriteScratch_;  ///< ER write-back ops.
+    std::vector<MemOp> rpScratch_;       ///< RP phase ops.
+    std::vector<MemOp> epReadScratch_;   ///< EP fetch ops.
+    std::vector<MemOp> epWriteScratch_;  ///< EP write-back ops.
+    std::vector<BlockContent> takeScratch_;   ///< takeAllValid staging.
+    std::vector<BlockId> chosenScratch_;      ///< eligibleFor staging.
+    std::vector<BlockContent> refillScratch_; ///< Bucket refill staging.
 };
 
 } // namespace palermo

@@ -77,14 +77,21 @@ std::vector<BlockContent>
 NodeMeta::takeAllValid()
 {
     std::vector<BlockContent> out;
+    takeAllValidInto(&out);
+    return out;
+}
+
+void
+NodeMeta::takeAllValidInto(std::vector<BlockContent> *out)
+{
+    out->clear();
     for (auto &slot : slots_) {
         if (!slot.used && slot.content.block != kInvalid) {
-            out.push_back(slot.content);
+            out->push_back(slot.content);
             slot.content = BlockContent{};
             slot.used = true;
         }
     }
-    return out;
 }
 
 void

@@ -78,6 +78,9 @@ class NodeMeta
      */
     std::vector<BlockContent> takeAllValid();
 
+    /** takeAllValid into a caller-owned buffer (cleared first). */
+    void takeAllValidInto(std::vector<BlockContent> *out);
+
     /**
      * Rebuild the bucket with the given real blocks (<= capacity); all
      * other slots become fresh dummies and counters clear.

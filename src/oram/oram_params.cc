@@ -106,10 +106,17 @@ std::vector<NodeId>
 OramParams::pathNodes(Leaf leaf) const
 {
     std::vector<NodeId> nodes;
-    nodes.reserve(levels);
-    for (unsigned level = 0; level < levels; ++level)
-        nodes.push_back(ancestorOfLeaf(leaf, level));
+    pathNodesInto(leaf, &nodes);
     return nodes;
+}
+
+void
+OramParams::pathNodesInto(Leaf leaf, std::vector<NodeId> *nodes) const
+{
+    nodes->clear();
+    nodes->reserve(levels);
+    for (unsigned level = 0; level < levels; ++level)
+        nodes->push_back(ancestorOfLeaf(leaf, level));
 }
 
 void

@@ -78,6 +78,9 @@ struct OramParams
     /** Path node ids from root (index 0) to leaf (index levels-1). */
     std::vector<NodeId> pathNodes(Leaf leaf) const;
 
+    /** pathNodes into a caller-owned buffer (cleared first). */
+    void pathNodesInto(Leaf leaf, std::vector<NodeId> *nodes) const;
+
     /** Validate internal consistency; panics on misconfiguration. */
     void check() const;
 };

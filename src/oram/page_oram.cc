@@ -34,14 +34,16 @@ PageOram::PageOram(const ProtocolConfig &config)
     }
 }
 
-std::vector<RequestPlan>
-PageOram::access(BlockId pa, bool write, std::uint64_t value)
+void
+PageOram::accessInto(BlockId pa, bool write, std::uint64_t value,
+                     std::vector<RequestPlan> *out)
 {
-    RequestPlan plan;
+    RequestPlan plan = recycler_.acquire(kHierLevels);
     plan.pa = pa;
     plan.write = write;
 
     const auto ids = config_.decompose(pa);
+    std::size_t slot = 0;
     for (unsigned level = kHierLevels; level-- > 0;) {
         PathEngine &engine = *engines_[level];
         PosMap &pm = *posMaps_[level];
@@ -49,9 +51,9 @@ PageOram::access(BlockId pa, bool write, std::uint64_t value)
         const Leaf leaf = pm.get(block);
         const Leaf new_leaf = rng_.range(engine.params().numLeaves);
         pm.set(block, new_leaf);
-        LevelPlan level_plan = engine.access(block, leaf, new_leaf);
+        LevelPlan &level_plan = plan.levels[slot++];
+        engine.accessInto(block, leaf, new_leaf, &level_plan);
         level_plan.level = level;
-        plan.levels.push_back(std::move(level_plan));
     }
 
     PathEngine &data = *engines_[kLevelData];
@@ -59,9 +61,7 @@ PageOram::access(BlockId pa, bool write, std::uint64_t value)
         data.setPayload(ids[kLevelData], value);
     plan.value = data.payloadOf(ids[kLevelData]);
 
-    std::vector<RequestPlan> plans;
-    plans.push_back(std::move(plan));
-    return plans;
+    out->push_back(std::move(plan));
 }
 
 const Stash &

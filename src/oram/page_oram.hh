@@ -29,8 +29,8 @@ class PageOram : public Protocol
 
     const char *name() const override { return "PageORAM"; }
 
-    std::vector<RequestPlan> access(BlockId pa, bool write,
-                                    std::uint64_t value) override;
+    void accessInto(BlockId pa, bool write, std::uint64_t value,
+                    std::vector<RequestPlan> *out) override;
 
     const Stash &stashOf(unsigned level) const override;
     Stash &stashOf(unsigned level) override;

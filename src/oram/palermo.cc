@@ -69,6 +69,14 @@ PalermoOram::decompose(BlockId pa) const
 LevelPlan
 PalermoOram::beginLevel(unsigned level, BlockId block)
 {
+    LevelPlan plan;
+    beginLevelInto(level, block, &plan);
+    return plan;
+}
+
+void
+PalermoOram::beginLevelInto(unsigned level, BlockId block, LevelPlan *plan)
+{
     palermo_assert(level < kHierLevels);
     RingEngine &engine = *engines_[level];
     PosMap &pm = *posMaps_[level];
@@ -86,11 +94,10 @@ PalermoOram::beginLevel(unsigned level, BlockId block)
     const Leaf new_leaf = rng_.range(engine.params().numLeaves);
     pm.set(block, new_leaf);
 
-    LevelPlan plan = engine.access(block, leaf, new_leaf);
-    plan.level = level;
+    engine.accessInto(block, leaf, new_leaf, plan);
+    plan->level = level;
     if (level == kLevelData)
         ++stats_.requests;
-    return plan;
 }
 
 std::uint64_t

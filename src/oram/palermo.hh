@@ -65,6 +65,9 @@ class PalermoOram
      */
     LevelPlan beginLevel(unsigned level, BlockId block);
 
+    /** beginLevel() into a recycled plan (resets it first). */
+    void beginLevelInto(unsigned level, BlockId block, LevelPlan *plan);
+
     /**
      * Complete the data access: apply the write payload / fetch the read
      * value, and mark prefetched lines LLC-resident.

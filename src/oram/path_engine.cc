@@ -51,20 +51,27 @@ PathEngine::appendMeta(std::vector<MemOp> &ops, NodeId node,
 std::vector<NodeId>
 PathEngine::accessSet(Leaf leaf) const
 {
-    std::vector<NodeId> nodes = params_.pathNodes(leaf);
+    std::vector<NodeId> nodes;
+    accessSetInto(leaf, &nodes);
+    return nodes;
+}
+
+void
+PathEngine::accessSetInto(Leaf leaf, std::vector<NodeId> *nodes) const
+{
+    params_.pathNodesInto(leaf, nodes);
     if (siblingMode_) {
         // PageORAM: include the sibling of every non-root path node;
         // siblings are heap-adjacent, so these reads are row-buffer
         // friendly.
-        const std::size_t path_len = nodes.size();
+        const std::size_t path_len = nodes->size();
         for (std::size_t i = 1; i < path_len; ++i) {
-            const NodeId node = nodes[i];
+            const NodeId node = (*nodes)[i];
             const NodeId sibling =
                 (node % 2 == 1) ? node + 1 : node - 1;
-            nodes.push_back(sibling);
+            nodes->push_back(sibling);
         }
     }
-    return nodes;
 }
 
 bool
@@ -80,41 +87,44 @@ PathEngine::eligible(NodeId node, Leaf leaf) const
     return false;
 }
 
-LevelPlan
-PathEngine::run(BlockId block, Leaf leaf, Leaf new_leaf, bool dummy,
-                const std::vector<BlockId> *group)
+void
+PathEngine::runInto(BlockId block, Leaf leaf, Leaf new_leaf, bool dummy,
+                    const std::vector<BlockId> *group, LevelPlan *plan)
 {
     palermo_assert(leaf < params_.numLeaves);
 
-    LevelPlan plan;
-    plan.block = block;
-    plan.oldLeaf = leaf;
-    plan.newLeaf = new_leaf;
+    plan->reset();
+    plan->block = block;
+    plan->oldLeaf = leaf;
+    plan->newLeaf = new_leaf;
     inFlight_ = dummy ? kInvalid : block;
 
-    std::vector<NodeId> nodes = accessSet(leaf);
+    accessSetInto(leaf, &nodesScratch_);
+    const std::vector<NodeId> &nodes = nodesScratch_;
     const std::size_t path_len = params_.levels;
+    lmScratch_.clear();
+    rpScratch_.clear();
+    epScratch_.clear();
 
     // LM: bucket headers along the access set. In sibling (PageORAM)
     // mode a DRAM page holds a bucket pair with one shared header, so
     // only the path nodes contribute metadata lines.
-    Phase lm{PhaseKind::LoadMeta, {}};
     for (std::size_t i = 0; i < nodes.size(); ++i) {
         if (siblingMode_ && i >= path_len)
             continue;
-        appendMeta(lm.ops, nodes[i], false);
+        appendMeta(lmScratch_, nodes[i], false);
     }
 
     // RP: read every slot of every bucket in the access set into the
     // stash.
-    Phase rp{PhaseKind::ReadPath, {}};
     for (NodeId node : nodes) {
         NodeMeta &meta = tree_.node(node);
         const unsigned capacity =
             params_.capacityAt(params_.levelOf(node));
         for (unsigned i = 0; i < capacity; ++i)
-            appendSlot(rp.ops, node, i, false);
-        for (const BlockContent &content : meta.takeAllValid())
+            appendSlot(rpScratch_, node, i, false);
+        meta.takeAllValidInto(&takeScratch_);
+        for (const BlockContent &content : takeScratch_)
             stash_.put(content.block, content.leaf, content.payload);
     }
 
@@ -123,7 +133,7 @@ PathEngine::run(BlockId block, Leaf leaf, Leaf new_leaf, bool dummy,
             // Found on the path (just pulled) or pending from earlier.
             stash_.remap(block, new_leaf);
         } else {
-            plan.freshBlock = true;
+            plan->freshBlock = true;
             stash_.put(block, new_leaf, 0);
             ++stats_.freshBlocks;
         }
@@ -148,65 +158,90 @@ PathEngine::run(BlockId block, Leaf leaf, Leaf new_leaf, bool dummy,
 
     // EP: immediately write the same access set back, deepest first, so
     // blocks sink as far toward their leaves as eligibility allows.
-    Phase ep{PhaseKind::EvictWrite, {}};
-    plan.hasEvict = true;
-    std::vector<NodeId> order = nodes;
-    std::sort(order.begin(), order.end(),
+    plan->hasEvict = true;
+    orderScratch_.assign(nodes.begin(), nodes.end());
+    std::sort(orderScratch_.begin(), orderScratch_.end(),
               [this](NodeId a, NodeId b) {
                   return params_.levelOf(a) > params_.levelOf(b);
               });
-    for (NodeId node : order) {
+    for (NodeId node : orderScratch_) {
         const unsigned level = params_.levelOf(node);
         const unsigned capacity = params_.capacityAt(level);
-        std::vector<BlockContent> refill;
-        refill.reserve(capacity);
+        refillScratch_.clear();
+        refillScratch_.reserve(capacity);
         for (const auto &[b, entry] : stash_.entries()) {
-            if (refill.size() >= capacity)
+            if (refillScratch_.size() >= capacity)
                 break;
             if (b == inFlight_)
                 continue;
             if (eligible(node, entry.leaf))
-                refill.push_back({b, entry.payload, entry.leaf});
+                refillScratch_.push_back({b, entry.payload, entry.leaf});
         }
-        for (const BlockContent &content : refill)
+        for (const BlockContent &content : refillScratch_)
             stash_.take(content.block);
-        tree_.node(node).resetWith(refill);
+        tree_.node(node).resetWith(refillScratch_);
         for (unsigned i = 0; i < capacity; ++i)
-            appendSlot(ep.ops, node, i, true);
+            appendSlot(epScratch_, node, i, true);
         // Sibling-mode: the pair's shared header is written with the
         // on-path bucket only.
         if (!siblingMode_ || params_.onPath(node, leaf))
-            appendMeta(ep.ops, node, true);
+            appendMeta(epScratch_, node, true);
     }
 
     ++stats_.accesses;
-    plan.phases.push_back(std::move(lm));
-    plan.phases.push_back(std::move(rp));
-    plan.phases.push_back(std::move(ep));
-    return plan;
+    plan->phases.emplaceBack(PhaseKind::LoadMeta).ops.swap(lmScratch_);
+    plan->phases.emplaceBack(PhaseKind::ReadPath).ops.swap(rpScratch_);
+    plan->phases.emplaceBack(PhaseKind::EvictWrite).ops.swap(epScratch_);
 }
 
 LevelPlan
 PathEngine::access(BlockId block, Leaf leaf, Leaf new_leaf)
 {
+    LevelPlan plan;
+    accessInto(block, leaf, new_leaf, &plan);
+    return plan;
+}
+
+void
+PathEngine::accessInto(BlockId block, Leaf leaf, Leaf new_leaf,
+                       LevelPlan *plan)
+{
     palermo_assert(block < params_.numBlocks);
     palermo_assert(new_leaf < params_.numLeaves);
-    return run(block, leaf, new_leaf, false);
+    runInto(block, leaf, new_leaf, false, nullptr, plan);
 }
 
 LevelPlan
 PathEngine::accessGroup(BlockId block, const std::vector<BlockId> &members,
                         Leaf leaf, Leaf new_leaf)
 {
+    LevelPlan plan;
+    accessGroupInto(block, members, leaf, new_leaf, &plan);
+    return plan;
+}
+
+void
+PathEngine::accessGroupInto(BlockId block,
+                            const std::vector<BlockId> &members, Leaf leaf,
+                            Leaf new_leaf, LevelPlan *plan)
+{
     palermo_assert(block < params_.numBlocks);
     palermo_assert(new_leaf < params_.numLeaves);
-    return run(block, leaf, new_leaf, false, &members);
+    runInto(block, leaf, new_leaf, false, &members, plan);
 }
 
 LevelPlan
 PathEngine::dummyAccess(Leaf leaf)
 {
-    return run(kInvalid, leaf, leaf, true);
+    LevelPlan plan;
+    dummyAccessInto(leaf, &plan);
+    return plan;
+}
+
+void
+PathEngine::dummyAccessInto(Leaf leaf, LevelPlan *plan)
+{
+    runInto(kInvalid, leaf, leaf, true, nullptr, plan);
 }
 
 void

@@ -61,6 +61,10 @@ class PathEngine
      */
     LevelPlan access(BlockId block, Leaf leaf, Leaf new_leaf);
 
+    /** access() into a recycled plan (resets it first). */
+    void accessInto(BlockId block, Leaf leaf, Leaf new_leaf,
+                    LevelPlan *plan);
+
     /**
      * PrORAM group access: like access(), but every listed group member
      * found on the path (or conjured on first touch) is co-remapped to
@@ -72,12 +76,19 @@ class PathEngine
                           const std::vector<BlockId> &members, Leaf leaf,
                           Leaf new_leaf);
 
+    /** accessGroup() into a recycled plan (resets it first). */
+    void accessGroupInto(BlockId block, const std::vector<BlockId> &members,
+                         Leaf leaf, Leaf new_leaf, LevelPlan *plan);
+
     /**
      * Execute a dummy access: read and evict a path without serving any
      * block (PrORAM background eviction to relieve stash pressure).
      * @param leaf Random path to exercise.
      */
     LevelPlan dummyAccess(Leaf leaf);
+
+    /** dummyAccess() into a recycled plan (resets it first). */
+    void dummyAccessInto(Leaf leaf, LevelPlan *plan);
 
     /**
      * Bulk-load one block during initial ORAM construction: place it as
@@ -108,12 +119,15 @@ class PathEngine
     /** Bucket set an access touches: path or path + siblings. */
     std::vector<NodeId> accessSet(Leaf leaf) const;
 
+    /** accessSet into a caller-owned buffer (cleared first). */
+    void accessSetInto(Leaf leaf, std::vector<NodeId> *nodes) const;
+
     /** True if `node` may hold a block mapped to `leaf`. */
     bool eligible(NodeId node, Leaf leaf) const;
 
     /** Core read-path + evict-path shared by real and dummy accesses. */
-    LevelPlan run(BlockId block, Leaf leaf, Leaf new_leaf, bool dummy,
-                  const std::vector<BlockId> *group = nullptr);
+    void runInto(BlockId block, Leaf leaf, Leaf new_leaf, bool dummy,
+                 const std::vector<BlockId> *group, LevelPlan *plan);
 
     void appendSlot(std::vector<MemOp> &ops, NodeId node, unsigned slot,
                     bool write) const;
@@ -129,6 +143,19 @@ class PathEngine
     Stash stash_;
     BlockId inFlight_ = kInvalid;
     PathEngineStats stats_;
+
+    // Per-access scratch buffers, reused across accesses so the steady
+    // state allocates nothing. Phase op vectors are filled here and then
+    // swapped into the plan's recycled slots at assembly; the swap hands
+    // back the slot's previous buffer, so capacity ping-pongs between
+    // the engine and the plans instead of returning to the heap.
+    std::vector<NodeId> nodesScratch_;   ///< Access set.
+    std::vector<NodeId> orderScratch_;   ///< Deepest-first eviction order.
+    std::vector<MemOp> lmScratch_;       ///< LM phase ops.
+    std::vector<MemOp> rpScratch_;       ///< RP phase ops.
+    std::vector<MemOp> epScratch_;       ///< EP write-back ops.
+    std::vector<BlockContent> takeScratch_;   ///< takeAllValid staging.
+    std::vector<BlockContent> refillScratch_; ///< Bucket refill staging.
 };
 
 } // namespace palermo

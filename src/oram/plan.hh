@@ -14,9 +14,12 @@
 #ifndef PALERMO_ORAM_PLAN_HH
 #define PALERMO_ORAM_PLAN_HH
 
+#include <array>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
 #include "oram/layout.hh"
 
@@ -47,6 +50,55 @@ struct Phase
     std::size_t writeCount() const;
 };
 
+/**
+ * Fixed-capacity phase sequence that recycles its op buffers.
+ *
+ * The longest protocol sequence is RingORAM with an eviction: LM, ER
+ * fetch, ER write-back, RP, EP fetch, EP write-back — six phases. A
+ * plain vector<Phase> reallocates the phase headers and every ops
+ * vector on each access; this container keeps six permanent slots and
+ * clear() only rewinds the logical size, so a recycled plan stops
+ * hitting the heap once its buffers have grown to the working set.
+ */
+class PhaseList
+{
+  public:
+    static constexpr std::size_t kMaxPhases = 6;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    /** Rewind to empty; slot op buffers keep their capacity. */
+    void clear() { size_ = 0; }
+
+    Phase &operator[](std::size_t i) { return slots_[i]; }
+    const Phase &operator[](std::size_t i) const { return slots_[i]; }
+
+    Phase *begin() { return slots_.data(); }
+    Phase *end() { return slots_.data() + size_; }
+    const Phase *begin() const { return slots_.data(); }
+    const Phase *end() const { return slots_.data() + size_; }
+
+    /** Open the next phase, reusing the slot's ops buffer. */
+    Phase &emplaceBack(PhaseKind kind)
+    {
+        palermo_assert(size_ < kMaxPhases, "phase sequence overflow");
+        Phase &slot = slots_[size_++];
+        slot.kind = kind;
+        slot.ops.clear();
+        return slot;
+    }
+
+    /** Append a pre-built phase (test convenience). */
+    void push_back(Phase phase)
+    {
+        emplaceBack(phase.kind).ops = std::move(phase.ops);
+    }
+
+  private:
+    std::array<Phase, kMaxPhases> slots_{};
+    std::size_t size_ = 0;
+};
+
 /** All phases one access performs on a single ORAM tree. */
 struct LevelPlan
 {
@@ -57,7 +109,20 @@ struct LevelPlan
     bool servedFromStash = false; ///< Target was pending in the stash.
     bool freshBlock = false;  ///< First-ever touch of this block.
     bool hasEvict = false;    ///< EvictPath scheduled on this access.
-    std::vector<Phase> phases; ///< Protocol execution order.
+    PhaseList phases;         ///< Protocol execution order.
+
+    /** Reset scalars and rewind phases, keeping op-buffer capacity. */
+    void reset()
+    {
+        level = 0;
+        block = kInvalid;
+        oldLeaf = 0;
+        newLeaf = 0;
+        servedFromStash = false;
+        freshBlock = false;
+        hasEvict = false;
+        phases.clear();
+    }
 
     std::size_t readOps() const;
     std::size_t writeOps() const;

@@ -15,6 +15,7 @@
 
 #include <unordered_map>
 
+#include "common/pool.hh"
 #include "common/types.hh"
 #include "crypto/prf.hh"
 
@@ -49,11 +50,17 @@ class PosMap
     std::size_t touchedCount() const { return entries_.size(); }
 
   private:
+    /** Pooled map so first-touch inserts amortize into the arena. */
+    using EntryMap = std::unordered_map<
+        BlockId, Leaf, std::hash<BlockId>, std::equal_to<BlockId>,
+        PoolAllocator<std::pair<const BlockId, Leaf>>>;
+
     std::uint64_t numBlocks_;
     std::uint64_t numLeaves_;
     Prf prf_;
     unsigned defaultGroup_;
-    std::unordered_map<BlockId, Leaf> entries_;
+    PoolResource pool_; ///< Declared before entries_ (destruction order).
+    EntryMap entries_;
 };
 
 } // namespace palermo

@@ -77,14 +77,13 @@ PrOram::recordPlan(bool dummy)
         window_.pop_front();
 }
 
-std::vector<RequestPlan>
-PrOram::access(BlockId pa, bool write, std::uint64_t value)
+void
+PrOram::accessInto(BlockId pa, bool write, std::uint64_t value,
+                   std::vector<RequestPlan> *out)
 {
-    std::vector<RequestPlan> plans;
-
     // Prefetched lines are LLC-resident: the miss never reaches ORAM.
     if (config_.prefetchLen > 1 && filter_.hit(pa)) {
-        RequestPlan hit;
+        RequestPlan hit = recycler_.acquire(0);
         hit.pa = pa;
         hit.write = write;
         hit.llcHit = true;
@@ -94,8 +93,8 @@ PrOram::access(BlockId pa, bool write, std::uint64_t value)
         if (write && data.inStash(pa))
             data.setPayload(pa, value);
         ++prStats_.llcHits;
-        plans.push_back(std::move(hit));
-        return plans;
+        out->push_back(std::move(hit));
+        return;
     }
 
     PathEngine &data = *engines_[kLevelData];
@@ -105,16 +104,16 @@ PrOram::access(BlockId pa, bool write, std::uint64_t value)
     // before admitting the real one.
     unsigned injected = 0;
     while (data.stash().occupancy() > dummyThreshold() && injected < 8) {
-        RequestPlan dummy;
+        RequestPlan dummy = recycler_.acquire(1);
         dummy.dummy = true;
         const Leaf random_leaf =
             rng_.range(data.params().numLeaves);
-        LevelPlan level_plan = data.dummyAccess(random_leaf);
+        LevelPlan &level_plan = dummy.levels[0];
+        data.dummyAccessInto(random_leaf, &level_plan);
         level_plan.level = kLevelData;
-        dummy.levels.push_back(std::move(level_plan));
         ++prStats_.dummyRequests;
         recordPlan(true);
-        plans.push_back(std::move(dummy));
+        out->push_back(std::move(dummy));
         ++injected;
     }
 
@@ -122,11 +121,12 @@ PrOram::access(BlockId pa, bool write, std::uint64_t value)
     if (!grouped && config_.prefetchLen > 1)
         ++prStats_.throttledAccesses;
 
-    RequestPlan plan;
+    RequestPlan plan = recycler_.acquire(kHierLevels);
     plan.pa = pa;
     plan.write = write;
 
     const auto ids = config_.decompose(pa);
+    std::size_t slot = 0;
     for (unsigned level = kHierLevels; level-- > 1;) {
         PathEngine &engine = *engines_[level];
         PosMap &pm = *posMaps_[level];
@@ -134,9 +134,9 @@ PrOram::access(BlockId pa, bool write, std::uint64_t value)
         const Leaf leaf = pm.get(block);
         const Leaf new_leaf = rng_.range(engine.params().numLeaves);
         pm.set(block, new_leaf);
-        LevelPlan level_plan = engine.access(block, leaf, new_leaf);
+        LevelPlan &level_plan = plan.levels[slot++];
+        engine.accessInto(block, leaf, new_leaf, &level_plan);
         level_plan.level = level;
-        plan.levels.push_back(std::move(level_plan));
     }
 
     // Data level with group semantics.
@@ -144,12 +144,12 @@ PrOram::access(BlockId pa, bool write, std::uint64_t value)
     const Leaf new_leaf = rng_.range(data.params().numLeaves);
     pm0.set(pa, new_leaf);
 
-    LevelPlan level_plan;
+    LevelPlan &level_plan = plan.levels[slot];
     if (grouped) {
         // Prefetch: every group sibling still sharing this leaf (the
         // throttle may have ungrouped some) is co-remapped onto the new
         // shared leaf inside the engine access, then marked resident.
-        std::vector<BlockId> members;
+        membersScratch_.clear();
         const BlockId group_base =
             (pa / config_.prefetchLen) * config_.prefetchLen;
         for (unsigned i = 0; i < config_.prefetchLen; ++i) {
@@ -158,27 +158,26 @@ PrOram::access(BlockId pa, bool write, std::uint64_t value)
                 continue;
             if (pm0.get(member) != leaf)
                 continue;
-            members.push_back(member);
+            membersScratch_.push_back(member);
         }
-        level_plan = data.accessGroup(pa, members, leaf, new_leaf);
-        for (BlockId member : members) {
+        data.accessGroupInto(pa, membersScratch_, leaf, new_leaf,
+                             &level_plan);
+        for (BlockId member : membersScratch_) {
             pm0.set(member, new_leaf);
             filter_.insert(member);
         }
         filter_.insert(pa);
     } else {
-        level_plan = data.access(pa, leaf, new_leaf);
+        data.accessInto(pa, leaf, new_leaf, &level_plan);
     }
     level_plan.level = kLevelData;
-    plan.levels.push_back(std::move(level_plan));
 
     if (write)
         data.setPayload(pa, value);
     plan.value = data.payloadOf(pa);
     ++prStats_.realRequests;
     recordPlan(false);
-    plans.push_back(std::move(plan));
-    return plans;
+    out->push_back(std::move(plan));
 }
 
 const Stash &

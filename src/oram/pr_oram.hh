@@ -53,8 +53,8 @@ class PrOram : public Protocol
         return config_.fatTree ? "LAORAM" : "PrORAM";
     }
 
-    std::vector<RequestPlan> access(BlockId pa, bool write,
-                                    std::uint64_t value) override;
+    void accessInto(BlockId pa, bool write, std::uint64_t value,
+                    std::vector<RequestPlan> *out) override;
 
     const Stash &stashOf(unsigned level) const override;
     Stash &stashOf(unsigned level) override;
@@ -79,6 +79,7 @@ class PrOram : public Protocol
     std::array<std::unique_ptr<PosMap>, kHierLevels> posMaps_;
     PrefetchFilter filter_;
     std::deque<bool> window_; ///< Recent plans: true = dummy.
+    std::vector<BlockId> membersScratch_; ///< Group-sibling staging.
     PrOramStats prStats_;
 };
 

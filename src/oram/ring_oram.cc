@@ -42,10 +42,11 @@ RingOram::RingOram(const ProtocolConfig &config)
     }
 }
 
-std::vector<RequestPlan>
-RingOram::access(BlockId pa, bool write, std::uint64_t value)
+void
+RingOram::accessInto(BlockId pa, bool write, std::uint64_t value,
+                     std::vector<RequestPlan> *out)
 {
-    RequestPlan plan;
+    RequestPlan plan = recycler_.acquire(kHierLevels);
     plan.pa = pa;
     plan.write = write;
 
@@ -54,6 +55,7 @@ RingOram::access(BlockId pa, bool write, std::uint64_t value)
         ids[kLevelData] = pa / config_.prefetchLen;
 
     // Execution order: deepest PosMap first (Pos2, Pos1, Data).
+    std::size_t slot = 0;
     for (unsigned level = kHierLevels; level-- > 0;) {
         RingEngine &engine = *engines_[level];
         PosMap &pm = *posMaps_[level];
@@ -61,9 +63,9 @@ RingOram::access(BlockId pa, bool write, std::uint64_t value)
         const Leaf leaf = pm.get(block);
         const Leaf new_leaf = rng_.range(engine.params().numLeaves);
         pm.set(block, new_leaf);
-        LevelPlan level_plan = engine.access(block, leaf, new_leaf);
+        LevelPlan &level_plan = plan.levels[slot++];
+        engine.accessInto(block, leaf, new_leaf, &level_plan);
         level_plan.level = level;
-        plan.levels.push_back(std::move(level_plan));
     }
 
     RingEngine &data = *engines_[kLevelData];
@@ -71,9 +73,7 @@ RingOram::access(BlockId pa, bool write, std::uint64_t value)
         data.setPayload(ids[kLevelData], value);
     plan.value = data.payloadOf(ids[kLevelData]);
 
-    std::vector<RequestPlan> plans;
-    plans.push_back(std::move(plan));
-    return plans;
+    out->push_back(std::move(plan));
 }
 
 const Stash &

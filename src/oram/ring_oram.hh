@@ -25,8 +25,8 @@ class RingOram : public Protocol
 
     const char *name() const override { return "RingORAM"; }
 
-    std::vector<RequestPlan> access(BlockId pa, bool write,
-                                    std::uint64_t value) override;
+    void accessInto(BlockId pa, bool write, std::uint64_t value,
+                    std::vector<RequestPlan> *out) override;
 
     const Stash &stashOf(unsigned level) const override;
     Stash &stashOf(unsigned level) override;

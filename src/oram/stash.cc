@@ -11,7 +11,8 @@
 
 namespace palermo {
 
-Stash::Stash(std::size_t capacity) : capacity_(capacity)
+Stash::Stash(std::size_t capacity)
+    : capacity_(capacity), entries_(Map::allocator_type(&pool_))
 {
     palermo_assert(capacity > 0);
 }
@@ -73,15 +74,24 @@ Stash::eligibleFor(NodeId node, const OramParams &params,
                    std::size_t max_count, BlockId exclude) const
 {
     std::vector<BlockId> out;
+    eligibleForInto(node, params, max_count, exclude, &out);
+    return out;
+}
+
+void
+Stash::eligibleForInto(NodeId node, const OramParams &params,
+                       std::size_t max_count, BlockId exclude,
+                       std::vector<BlockId> *out) const
+{
+    out->clear();
     for (const auto &[block, entry] : entries_) {
-        if (out.size() >= max_count)
+        if (out->size() >= max_count)
             break;
         if (block == exclude)
             continue;
         if (params.onPath(node, entry.leaf))
-            out.push_back(block);
+            out->push_back(block);
     }
-    return out;
 }
 
 } // namespace palermo

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/pool.hh"
 #include "common/types.hh"
 #include "oram/node_meta.hh"
 
@@ -35,6 +36,17 @@ struct StashEntry
 class Stash
 {
   public:
+    /**
+     * Hash-map type backed by the stash's own pool: the put/take churn
+     * of steady-state operation recycles node storage instead of
+     * round-tripping through the global heap. Iteration order depends
+     * only on hashes and insertion sequence, not on the allocator, so
+     * pooling does not perturb deterministic runs.
+     */
+    using Map = std::unordered_map<
+        BlockId, StashEntry, std::hash<BlockId>, std::equal_to<BlockId>,
+        PoolAllocator<std::pair<const BlockId, StashEntry>>>;
+
     explicit Stash(std::size_t capacity = 256);
 
     std::size_t capacity() const { return capacity_; }
@@ -76,17 +88,20 @@ class Stash
                                      std::size_t max_count,
                                      BlockId exclude = kInvalid) const;
 
+    /** eligibleFor into a caller-owned buffer (cleared first). */
+    void eligibleForInto(NodeId node, const OramParams &params,
+                         std::size_t max_count, BlockId exclude,
+                         std::vector<BlockId> *out) const;
+
     /** Iterate all entries (tests / invariant checks). */
-    const std::unordered_map<BlockId, StashEntry> &entries() const
-    {
-        return entries_;
-    }
+    const Map &entries() const { return entries_; }
 
   private:
     void noteOccupancy();
 
     std::size_t capacity_;
-    std::unordered_map<BlockId, StashEntry> entries_;
+    PoolResource pool_; ///< Declared before entries_ (destruction order).
+    Map entries_;
     std::size_t highWatermark_ = 0;
     std::size_t windowWatermark_ = 0;
     bool overflowed_ = false;

@@ -10,7 +10,8 @@
 
 namespace palermo {
 
-TreeStore::TreeStore(const OramParams &params) : params_(params)
+TreeStore::TreeStore(const OramParams &params)
+    : params_(params), nodes_(NodeMap::allocator_type(&pool_))
 {
     params_.check();
 }

@@ -13,6 +13,7 @@
 
 #include <unordered_map>
 
+#include "common/pool.hh"
 #include "common/types.hh"
 #include "oram/node_meta.hh"
 #include "oram/oram_params.hh"
@@ -43,8 +44,14 @@ class TreeStore
     const OramParams &params() const { return params_; }
 
   private:
+    /** Pooled map so bucket materialization amortizes into the arena. */
+    using NodeMap = std::unordered_map<
+        NodeId, NodeMeta, std::hash<NodeId>, std::equal_to<NodeId>,
+        PoolAllocator<std::pair<const NodeId, NodeMeta>>>;
+
     OramParams params_;
-    std::unordered_map<NodeId, NodeMeta> nodes_;
+    PoolResource pool_; ///< Declared before nodes_ (destruction order).
+    NodeMap nodes_;
 };
 
 } // namespace palermo

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Recursive-descent JSON parser for the repo's own metrics documents.
+ */
+
+#include "sim/json_value.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace palermo {
+
+namespace {
+
+/** Nesting bound: palermo-metrics-v1 is ~6 deep; 128 is generous. */
+constexpr unsigned kMaxDepth = 128;
+
+} // namespace
+
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool
+    run(JsonValue *out)
+    {
+        skipSpace();
+        if (!parseValue(out, 0))
+            return false;
+        skipSpace();
+        if (pos_ != text_.size())
+            return fail("trailing content after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &message)
+    {
+        if (error_ != nullptr) {
+            std::size_t line = 1;
+            std::size_t col = 1;
+            for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+                if (text_[i] == '\n') {
+                    ++line;
+                    col = 1;
+                } else {
+                    ++col;
+                }
+            }
+            char where[32];
+            std::snprintf(where, sizeof(where), "%zu:%zu: ", line, col);
+            *error_ = where + message;
+        }
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t i = 0;
+        while (word[i] != '\0') {
+            if (pos_ + i >= text_.size() || text_[pos_ + i] != word[i])
+                return false;
+            ++i;
+        }
+        pos_ += i;
+        return true;
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected '\"'");
+        ++pos_;
+        out->clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out->push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out->push_back('"'); break;
+              case '\\': out->push_back('\\'); break;
+              case '/': out->push_back('/'); break;
+              case 'b': out->push_back('\b'); break;
+              case 'f': out->push_back('\f'); break;
+              case 'n': out->push_back('\n'); break;
+              case 'r': out->push_back('\r'); break;
+              case 't': out->push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (unsigned i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad hex digit in \\u escape");
+                }
+                // The writer only emits \u for control characters;
+                // encode the general case as UTF-8 anyway.
+                if (code < 0x80) {
+                    out->push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out->push_back(
+                        static_cast<char>(0xC0 | (code >> 6)));
+                    out->push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out->push_back(
+                        static_cast<char>(0xE0 | (code >> 12)));
+                    out->push_back(
+                        static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+                    out->push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape sequence");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue *out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size()
+               && (std::isdigit(static_cast<unsigned char>(text_[pos_]))
+                   || text_[pos_] == '.' || text_[pos_] == 'e'
+                   || text_[pos_] == 'E' || text_[pos_] == '+'
+                   || text_[pos_] == '-')) {
+            ++pos_;
+        }
+        double value = 0.0;
+        const auto result = std::from_chars(
+            text_.data() + start, text_.data() + pos_, value);
+        if (result.ec != std::errc()
+            || result.ptr != text_.data() + pos_) {
+            pos_ = start;
+            return fail("malformed number");
+        }
+        out->kind_ = JsonValue::Kind::Number;
+        out->number_ = value;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue *out, unsigned depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("document nested too deeply");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject(out, depth);
+        if (c == '[')
+            return parseArray(out, depth);
+        if (c == '"') {
+            out->kind_ = JsonValue::Kind::String;
+            return parseString(&out->string_);
+        }
+        if (c == 't' && literal("true")) {
+            out->kind_ = JsonValue::Kind::Bool;
+            out->boolean_ = true;
+            return true;
+        }
+        if (c == 'f' && literal("false")) {
+            out->kind_ = JsonValue::Kind::Bool;
+            out->boolean_ = false;
+            return true;
+        }
+        if (c == 'n' && literal("null")) {
+            out->kind_ = JsonValue::Kind::Null;
+            return true;
+        }
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+            return parseNumber(out);
+        return fail("unexpected character");
+    }
+
+    bool
+    parseObject(JsonValue *out, unsigned depth)
+    {
+        ++pos_; // '{'
+        out->kind_ = JsonValue::Kind::Object;
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipSpace();
+            std::string key;
+            if (!parseString(&key))
+                return false;
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':' after object key");
+            ++pos_;
+            skipSpace();
+            JsonValue value;
+            if (!parseValue(&value, depth + 1))
+                return false;
+            out->members_.emplace_back(std::move(key), std::move(value));
+            skipSpace();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(JsonValue *out, unsigned depth)
+    {
+        ++pos_; // '['
+        out->kind_ = JsonValue::Kind::Array;
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipSpace();
+            JsonValue value;
+            if (!parseValue(&value, depth + 1))
+                return false;
+            out->array_.push_back(std::move(value));
+            skipSpace();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+};
+
+bool
+JsonValue::parse(const std::string &text, JsonValue *out,
+                 std::string *error)
+{
+    JsonParser parser(text, error);
+    return parser.run(out);
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[name, value] : members_) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+const JsonValue *
+JsonValue::at(const std::string &path) const
+{
+    const JsonValue *node = this;
+    std::size_t start = 0;
+    while (node != nullptr && start <= path.size()) {
+        const std::size_t dot = path.find('.', start);
+        const std::string key = path.substr(
+            start, dot == std::string::npos ? std::string::npos
+                                            : dot - start);
+        node = node->find(key);
+        if (dot == std::string::npos)
+            break;
+        start = dot + 1;
+    }
+    return node;
+}
+
+} // namespace palermo

@@ -22,61 +22,6 @@ fail(std::string *error, const std::string &message)
     return false;
 }
 
-/**
- * Shared argv walker for the tool parsers: accepts "--flag value" and
- * "--flag=value" forms, one flag per advance() step.
- */
-class ArgCursor
-{
-  public:
-    ArgCursor(int argc, const char *const *argv)
-        : argc_(argc), argv_(argv)
-    {
-    }
-
-    /** Move to the next argument; false when argv is exhausted. */
-    bool
-    advance()
-    {
-        if (i_ + 1 >= argc_)
-            return false;
-        arg_ = argv_[++i_];
-        return true;
-    }
-
-    /** Flag name of the current argument (text before any '='). */
-    std::string
-    name() const
-    {
-        const std::size_t eq = arg_.find('=');
-        return eq == std::string::npos ? arg_ : arg_.substr(0, eq);
-    }
-
-    /**
-     * Value of the current flag: the text after '=', or the next
-     * argument (consumed). False when neither exists.
-     */
-    bool
-    value(std::string *out)
-    {
-        const std::size_t eq = arg_.find('=');
-        if (eq != std::string::npos) {
-            *out = arg_.substr(eq + 1);
-            return true;
-        }
-        if (i_ + 1 >= argc_)
-            return false;
-        *out = argv_[++i_];
-        return true;
-    }
-
-  private:
-    int argc_;
-    const char *const *argv_;
-    int i_ = -1;
-    std::string arg_;
-};
-
 } // namespace
 
 bool

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Trace-file parsing (extracted from the palermo_replay tool).
+ */
+
+#include "sim/trace_file.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/sweep.hh"
+
+namespace palermo {
+
+bool
+loadTraceStream(std::istream &in, const std::string &name,
+                std::vector<FrontendRequest> *out, std::string *error)
+{
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream fields(line);
+        std::string op;
+        if (!(fields >> op))
+            continue; // Blank / comment-only line.
+
+        const auto bad = [&](const std::string &what) {
+            std::ostringstream os;
+            os << name << ":" << lineno << ": " << what;
+            *error = os.str();
+            return false;
+        };
+
+        bool write = false;
+        if (op == "R" || op == "r") {
+            write = false;
+        } else if (op == "W" || op == "w") {
+            write = true;
+        } else {
+            return bad("unknown op '" + op + "' (want R or W)");
+        }
+
+        std::string address;
+        if (!(fields >> address))
+            return bad("missing line index");
+        std::uint64_t pa = 0;
+        if (!parseUnsigned(address, &pa))
+            return bad("bad line index '" + address + "'");
+
+        std::uint64_t value = 0;
+        std::string payload;
+        if (fields >> payload) {
+            if (!write)
+                return bad("payload on a read record");
+            if (!parseUnsigned(payload, &value))
+                return bad("bad payload '" + payload + "'");
+        }
+        std::string extra;
+        if (fields >> extra)
+            return bad("trailing token '" + extra + "'");
+
+        out->push_back(FrontendRequest{pa, write, value, false});
+    }
+    if (out->empty()) {
+        *error = "trace '" + name + "' holds no records";
+        return false;
+    }
+    return true;
+}
+
+bool
+loadTraceFile(const std::string &path, std::vector<FrontendRequest> *out,
+              std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        *error = "cannot open trace file '" + path + "'";
+        return false;
+    }
+    return loadTraceStream(in, path, out, error);
+}
+
+} // namespace palermo

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Trace-file loader shared by palermo_replay and its tests.
+ *
+ * Trace format: text, one record per line.
+ *   - '#' starts a comment (rest of line ignored); blank lines skipped.
+ *   - 'R <line>'            read of a protected 64B line index.
+ *   - 'W <line> [value]'    write (optional payload, default 0).
+ * Ops are case-insensitive. See tools/traces/tiny.trace for a worked
+ * example. Lives in the library (not tools/) so malformed-input
+ * behavior is pinned by tests rather than only exercised ad hoc.
+ */
+
+#ifndef PALERMO_SIM_TRACE_FILE_HH
+#define PALERMO_SIM_TRACE_FILE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/frontend.hh"
+
+namespace palermo {
+
+/**
+ * Parse a trace from a stream. @p name labels error messages (a file
+ * path for the CLI, a test label elsewhere). Returns false and fills
+ * *error with "name:line: message" on malformed records; an empty
+ * trace (no records at all) is also an error.
+ */
+bool loadTraceStream(std::istream &in, const std::string &name,
+                     std::vector<FrontendRequest> *out, std::string *error);
+
+/** Open @p path and parse it with loadTraceStream(). */
+bool loadTraceFile(const std::string &path,
+                   std::vector<FrontendRequest> *out, std::string *error);
+
+} // namespace palermo
+
+#endif // PALERMO_SIM_TRACE_FILE_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Allocation-regression gate for the pooled Palermo hot path.
+ *
+ * This binary replaces the global operator new (common/alloc_count.hh)
+ * and counts heap allocations across the steady-state segment of a
+ * Palermo run. With session-lifetime pools in place, a steady-state
+ * access should hit the heap only on rare pool growth — the budget
+ * below is deliberately small so any reintroduced per-access
+ * allocation (a by-value plan, a fresh scratch vector, an unpooled
+ * map node) fails loudly.
+ *
+ * The workload is Stream over a small tree with a warmup long enough
+ * to touch every block and grow every pool to its working-set size;
+ * the measured segment is the back half.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/alloc_count.hh"
+#include "sim/experiment.hh"
+#include "sim/protocol_registry.hh"
+#include "sim/system_config.hh"
+
+namespace palermo {
+namespace {
+
+/** Heap allocations per steady-state request, averaged. */
+double
+steadyStateAllocsPerRequest(ProtocolKind kind)
+{
+    SystemConfig config;
+    config.protocol.numBlocks = 1ull << 11; // 2048 blocks.
+    config.totalRequests = 6000;            // Warmup 3000 > numBlocks.
+    config.seed = 1;
+
+    auto session = makeSession(kind, Workload::Stream, config);
+    const std::uint64_t warmup_served = static_cast<std::uint64_t>(
+        config.totalRequests * config.warmupFraction);
+    while (!session->done() && session->served() < warmup_served)
+        session->step();
+
+    const unsigned long long before = heapAllocationCount();
+    const std::uint64_t served_before = session->served();
+    while (!session->done())
+        session->step();
+    session->drain();
+    const unsigned long long after = heapAllocationCount();
+    const std::uint64_t requests = session->served() - served_before;
+
+    EXPECT_GT(requests, 0u);
+    const double per_request = requests == 0
+        ? 0.0
+        : static_cast<double>(after - before)
+            / static_cast<double>(requests);
+    std::printf("%-12s steady-state: %llu allocs / %llu requests "
+                "= %.3f per request\n",
+                protocolShortName(kind),
+                static_cast<unsigned long long>(after - before),
+                static_cast<unsigned long long>(requests), per_request);
+    return per_request;
+}
+
+TEST(AllocBudget, PalermoSteadyStateStaysPooled)
+{
+    // Budget: pool growth, latency-sample bookkeeping, and the odd
+    // first-touch position-map chunk — but nothing per access. The
+    // unpooled baseline sat near 10^2 per request.
+    EXPECT_LE(steadyStateAllocsPerRequest(ProtocolKind::Palermo), 2.0);
+}
+
+TEST(AllocBudget, PathOramSteadyStateStaysPooled)
+{
+    EXPECT_LE(steadyStateAllocsPerRequest(ProtocolKind::PathOram), 2.0);
+}
+
+TEST(AllocBudget, CounterCountsThisBinary)
+{
+    const unsigned long long before = heapAllocationCount();
+    auto *leak_free = new int(7);
+    const unsigned long long after = heapAllocationCount();
+    EXPECT_GT(after, before);
+    delete leak_free;
+}
+
+} // namespace
+} // namespace palermo

@@ -1,0 +1,138 @@
+/** @file Edge-case tests for ArgCursor and the tool arg parsers. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/run_cli.hh"
+
+namespace palermo {
+namespace {
+
+/** Build a stable argv from string literals for one cursor run. */
+class Argv
+{
+  public:
+    explicit Argv(std::vector<std::string> args) : args_(std::move(args))
+    {
+        for (const std::string &arg : args_)
+            pointers_.push_back(arg.c_str());
+    }
+
+    int argc() const { return static_cast<int>(pointers_.size()); }
+    const char *const *argv() const { return pointers_.data(); }
+
+  private:
+    std::vector<std::string> args_;
+    std::vector<const char *> pointers_;
+};
+
+TEST(ArgCursor, WalksFlagsAndValues)
+{
+    const Argv args({"--alpha", "1", "--beta=2", "--gamma"});
+    ArgCursor cursor(args.argc(), args.argv());
+    std::string value;
+
+    ASSERT_TRUE(cursor.advance());
+    EXPECT_EQ(cursor.name(), "--alpha");
+    ASSERT_TRUE(cursor.value(&value));
+    EXPECT_EQ(value, "1"); // Separate-token form consumes the next arg.
+
+    ASSERT_TRUE(cursor.advance());
+    EXPECT_EQ(cursor.name(), "--beta");
+    ASSERT_TRUE(cursor.value(&value));
+    EXPECT_EQ(value, "2"); // '=' form.
+
+    ASSERT_TRUE(cursor.advance());
+    EXPECT_EQ(cursor.name(), "--gamma");
+    EXPECT_FALSE(cursor.value(&value)); // Exhausted argv.
+
+    EXPECT_FALSE(cursor.advance());
+    EXPECT_FALSE(cursor.advance()); // Stays exhausted.
+}
+
+TEST(ArgCursor, EqualsEdgeCases)
+{
+    const Argv args({"--empty=", "--chain=a=b", "--next", "value"});
+    ArgCursor cursor(args.argc(), args.argv());
+    std::string value;
+
+    ASSERT_TRUE(cursor.advance());
+    EXPECT_EQ(cursor.name(), "--empty");
+    ASSERT_TRUE(cursor.value(&value));
+    EXPECT_EQ(value, ""); // "--flag=" is an explicit empty value.
+
+    ASSERT_TRUE(cursor.advance());
+    EXPECT_EQ(cursor.name(), "--chain");
+    ASSERT_TRUE(cursor.value(&value));
+    EXPECT_EQ(value, "a=b"); // Only the first '=' splits.
+
+    ASSERT_TRUE(cursor.advance());
+    ASSERT_TRUE(cursor.value(&value));
+    EXPECT_EQ(value, "value");
+    EXPECT_FALSE(cursor.advance());
+}
+
+TEST(ArgCursor, EmptyArgvNeverAdvances)
+{
+    ArgCursor cursor(0, nullptr);
+    EXPECT_FALSE(cursor.advance());
+}
+
+/**
+ * Fuzz-ish sweep: every 3-token combination over a small alphabet must
+ * parse or fail cleanly (no crash, and failures always carry a
+ * message). Run through the real palermo_run parser.
+ */
+TEST(RunArgs, ArbitraryTokenCombinationsNeverCrash)
+{
+    const std::vector<std::string> alphabet = {
+        "--protocol", "palermo",  "--blocks", "4096", "--seed",
+        "--json",     "-",        "=",        "--blocks=0",
+        "--reqs=10",  "--paper",  "bogus",    "--sweep", "",
+        "--jobs=2",   "--blocks=999999999999999999999999",
+    };
+    for (const std::string &a : alphabet) {
+        for (const std::string &b : alphabet) {
+            for (const std::string &c : alphabet) {
+                const Argv args({a, b, c});
+                RunOptions options;
+                std::string error;
+                const bool ok = parseRunArgs(args.argc(), args.argv(),
+                                             &options, &error);
+                if (!ok) {
+                    EXPECT_FALSE(error.empty())
+                        << a << " " << b << " " << c;
+                }
+            }
+        }
+    }
+}
+
+TEST(ReplayArgs, ArbitraryTokenCombinationsNeverCrash)
+{
+    const std::vector<std::string> alphabet = {
+        "--trace",    "x.trace", "--depth=0",  "--depth",
+        "--blocks=8", "--seed",  "--progress", "nonsense",
+        "--json=-",   "",
+    };
+    for (const std::string &a : alphabet) {
+        for (const std::string &b : alphabet) {
+            for (const std::string &c : alphabet) {
+                const Argv args({a, b, c});
+                ReplayOptions options;
+                std::string error;
+                const bool ok = parseReplayArgs(
+                    args.argc(), args.argv(), &options, &error);
+                if (!ok) {
+                    EXPECT_FALSE(error.empty())
+                        << a << " " << b << " " << c;
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace palermo

@@ -1,0 +1,132 @@
+/** @file Round-trip and malformed-input tests for the JSON parser. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "sim/json_value.hh"
+#include "sim/metrics_json.hh"
+
+namespace palermo {
+namespace {
+
+JsonValue
+parseOk(const std::string &text)
+{
+    JsonValue value;
+    std::string error;
+    EXPECT_TRUE(JsonValue::parse(text, &value, &error)) << error;
+    return value;
+}
+
+std::string
+parseError(const std::string &text)
+{
+    JsonValue value;
+    std::string error;
+    EXPECT_FALSE(JsonValue::parse(text, &value, &error));
+    EXPECT_FALSE(error.empty());
+    return error;
+}
+
+TEST(JsonValue, Scalars)
+{
+    EXPECT_TRUE(parseOk("null").isNull());
+    EXPECT_TRUE(parseOk("true").boolean());
+    EXPECT_FALSE(parseOk("false").boolean());
+    EXPECT_DOUBLE_EQ(parseOk("42").number(), 42.0);
+    EXPECT_DOUBLE_EQ(parseOk("-3.5e2").number(), -350.0);
+    EXPECT_EQ(parseOk("\"hi\"").string(), "hi");
+    EXPECT_DOUBLE_EQ(parseOk("  7  ").number(), 7.0); // Whitespace ok.
+}
+
+TEST(JsonValue, StringEscapes)
+{
+    EXPECT_EQ(parseOk(R"("a\"b\\c\/d")").string(), "a\"b\\c/d");
+    EXPECT_EQ(parseOk(R"("tab\there")").string(), "tab\there");
+    EXPECT_EQ(parseOk(R"("\u0041\u00e9")").string(), "A\xC3\xA9");
+}
+
+TEST(JsonValue, ContainersAndLookup)
+{
+    const JsonValue doc = parseOk(
+        R"({"a": 1, "b": [true, null, "x"], "c": {"d": {"e": 9}}})");
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.members().size(), 3u);
+    EXPECT_DOUBLE_EQ(doc.find("a")->number(), 1.0);
+    EXPECT_EQ(doc.find("b")->array().size(), 3u);
+    EXPECT_EQ(doc.find("b")->array()[2].string(), "x");
+    EXPECT_DOUBLE_EQ(doc.at("c.d.e")->number(), 9.0);
+    EXPECT_EQ(doc.find("missing"), nullptr);
+    EXPECT_EQ(doc.at("c.d.missing"), nullptr);
+    EXPECT_EQ(doc.at("a.b"), nullptr); // Scalar has no members.
+}
+
+TEST(JsonValue, PreservesMemberOrder)
+{
+    const JsonValue doc = parseOk(R"({"z": 1, "a": 2, "m": 3})");
+    ASSERT_EQ(doc.members().size(), 3u);
+    EXPECT_EQ(doc.members()[0].first, "z");
+    EXPECT_EQ(doc.members()[1].first, "a");
+    EXPECT_EQ(doc.members()[2].first, "m");
+}
+
+TEST(JsonValue, MalformedInputsReportPosition)
+{
+    EXPECT_NE(parseError("").find("unexpected end"), std::string::npos);
+    EXPECT_NE(parseError("{").find("1:2"), std::string::npos);
+    parseError("{\"a\" 1}");       // Missing colon.
+    parseError("{\"a\": 1,}");     // Trailing comma wants a key.
+    parseError("[1, 2");           // Unterminated array.
+    parseError("\"abc");           // Unterminated string.
+    parseError("12 34");           // Trailing content.
+    parseError("{\"a\": 1} x");    // Trailing content after object.
+    parseError("nul");             // Truncated literal.
+    parseError("\"\\q\"");         // Unknown escape.
+    parseError("\"\\u12\"");       // Truncated \u escape.
+    parseError("- 1");             // Bare minus.
+    parseError("1.2.3");           // Double dot.
+}
+
+TEST(JsonValue, DeepNestingIsBounded)
+{
+    std::string deep;
+    for (int i = 0; i < 200; ++i)
+        deep += '[';
+    for (int i = 0; i < 200; ++i)
+        deep += ']';
+    EXPECT_NE(parseError(deep).find("nested too deeply"),
+              std::string::npos);
+}
+
+TEST(JsonValue, RoundTripsMetricsJsonOutput)
+{
+    // Feed the parser what our own writer produces.
+    JsonWriter writer;
+    writer.beginObject();
+    writer.field("schema", "palermo-metrics-v1");
+    writer.key("values").beginArray();
+    writer.value(1.5);
+    writer.value(std::uint64_t{18446744073709551615ull});
+    writer.value("quote\"and\\slash");
+    writer.endArray();
+    writer.key("derived").beginObject();
+    writer.field("speed.palermo/b20.requests_per_second", 12345.678);
+    writer.endObject();
+    writer.endObject();
+
+    const JsonValue doc = parseOk(writer.str());
+    EXPECT_EQ(doc.find("schema")->string(), "palermo-metrics-v1");
+    EXPECT_DOUBLE_EQ(doc.find("values")->array()[0].number(), 1.5);
+    EXPECT_EQ(doc.find("values")->array()[2].string(),
+              "quote\"and\\slash");
+    EXPECT_DOUBLE_EQ(
+        doc.at("derived")
+            ->find("speed.palermo/b20.requests_per_second")
+            ->number(),
+        12345.678);
+}
+
+} // namespace
+} // namespace palermo

@@ -1,0 +1,119 @@
+/** @file Malformed-input and round-trip tests for the trace loader. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/trace_file.hh"
+
+namespace palermo {
+namespace {
+
+bool
+load(const std::string &text, std::vector<FrontendRequest> *out,
+     std::string *error)
+{
+    std::istringstream in(text);
+    out->clear();
+    error->clear();
+    return loadTraceStream(in, "test", out, error);
+}
+
+TEST(TraceFile, ParsesReadsWritesAndComments)
+{
+    std::vector<FrontendRequest> trace;
+    std::string error;
+    ASSERT_TRUE(load("# header comment\n"
+                     "R 5\n"
+                     "w 7 99   # inline comment\n"
+                     "\n"
+                     "W 0\n"
+                     "r 12\n",
+                     &trace, &error))
+        << error;
+    ASSERT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace[0].pa, 5u);
+    EXPECT_FALSE(trace[0].write);
+    EXPECT_EQ(trace[1].pa, 7u);
+    EXPECT_TRUE(trace[1].write);
+    EXPECT_EQ(trace[1].value, 99u);
+    EXPECT_TRUE(trace[2].write);
+    EXPECT_EQ(trace[2].value, 0u); // Payload optional on writes.
+    EXPECT_FALSE(trace[3].write);
+    for (const FrontendRequest &request : trace)
+        EXPECT_FALSE(request.dummy);
+}
+
+TEST(TraceFile, EmptyTraceIsAnError)
+{
+    std::vector<FrontendRequest> trace;
+    std::string error;
+    EXPECT_FALSE(load("", &trace, &error));
+    EXPECT_NE(error.find("holds no records"), std::string::npos);
+    EXPECT_FALSE(load("# only comments\n\n  \n", &trace, &error));
+    EXPECT_NE(error.find("holds no records"), std::string::npos);
+}
+
+TEST(TraceFile, RejectsMalformedRecordsWithLineNumbers)
+{
+    std::vector<FrontendRequest> trace;
+    std::string error;
+
+    EXPECT_FALSE(load("R 1\nX 2\n", &trace, &error));
+    EXPECT_NE(error.find("test:2"), std::string::npos);
+    EXPECT_NE(error.find("unknown op"), std::string::npos);
+
+    EXPECT_FALSE(load("R\n", &trace, &error));
+    EXPECT_NE(error.find("missing line index"), std::string::npos);
+
+    EXPECT_FALSE(load("R banana\n", &trace, &error));
+    EXPECT_NE(error.find("bad line index"), std::string::npos);
+
+    EXPECT_FALSE(load("R 1 77\n", &trace, &error));
+    EXPECT_NE(error.find("payload on a read"), std::string::npos);
+
+    EXPECT_FALSE(load("W 1 banana\n", &trace, &error));
+    EXPECT_NE(error.find("bad payload"), std::string::npos);
+
+    EXPECT_FALSE(load("W 1 2 3\n", &trace, &error));
+    EXPECT_NE(error.find("trailing token"), std::string::npos);
+}
+
+TEST(TraceFile, RejectsOverflowValues)
+{
+    std::vector<FrontendRequest> trace;
+    std::string error;
+    // One past 2^64 - 1 must not wrap silently.
+    EXPECT_FALSE(load("R 18446744073709551616\n", &trace, &error));
+    EXPECT_NE(error.find("bad line index"), std::string::npos);
+    // The maximum representable index is accepted verbatim.
+    ASSERT_TRUE(load("R 18446744073709551615\n", &trace, &error))
+        << error;
+    EXPECT_EQ(trace[0].pa, 18446744073709551615ull);
+    // Negative numbers are not unsigned indices.
+    EXPECT_FALSE(load("R -1\n", &trace, &error));
+}
+
+TEST(TraceFile, MissingFileIsAnError)
+{
+    std::vector<FrontendRequest> trace;
+    std::string error;
+    EXPECT_FALSE(loadTraceFile("/nonexistent/path/x.trace", &trace,
+                               &error));
+    EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(TraceFile, LoadsTheShippedExample)
+{
+    std::vector<FrontendRequest> trace;
+    std::string error;
+    const std::string path =
+        std::string(PALERMO_SOURCE_DIR) + "/tools/traces/tiny.trace";
+    ASSERT_TRUE(loadTraceFile(path, &trace, &error)) << error;
+    EXPECT_FALSE(trace.empty());
+}
+
+} // namespace
+} // namespace palermo

@@ -10,20 +10,14 @@
  * a production access log scrubber, another simulator) can drive the
  * full Palermo timing stack the same way.
  *
- * Trace format: text, one record per line.
- *   - '#' starts a comment (rest of line ignored); blank lines skipped.
- *   - 'R <line>'            read of a protected 64B line index.
- *   - 'W <line> [value]'    write (optional payload, default 0).
- * Ops are case-insensitive. Line indices must fit the protected space
- * (--blocks). See tools/traces/tiny.trace for a worked example.
+ * Trace format: see src/sim/trace_file.hh (the shared loader). Line
+ * indices must fit the protected space (--blocks).
  *
  * Exit status: 0 on success, 1 on sanity-gate or I/O failure, 2 on
  * usage/trace-format errors.
  */
 
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -33,77 +27,11 @@
 #include "sim/protocol_registry.hh"
 #include "sim/run_cli.hh"
 #include "sim/sweep.hh"
+#include "sim/trace_file.hh"
 
 using namespace palermo;
 
 namespace {
-
-/** Parse the trace file; returns false with a message on bad input. */
-bool
-loadTrace(const std::string &path, std::vector<FrontendRequest> *out,
-          std::string *error)
-{
-    std::ifstream in(path);
-    if (!in) {
-        *error = "cannot open trace file '" + path + "'";
-        return false;
-    }
-
-    std::string line;
-    std::size_t lineno = 0;
-    while (std::getline(in, line)) {
-        ++lineno;
-        const std::size_t hash = line.find('#');
-        if (hash != std::string::npos)
-            line.resize(hash);
-        std::istringstream fields(line);
-        std::string op;
-        if (!(fields >> op))
-            continue; // Blank / comment-only line.
-
-        const auto bad = [&](const std::string &what) {
-            std::ostringstream os;
-            os << path << ":" << lineno << ": " << what;
-            *error = os.str();
-            return false;
-        };
-
-        bool write = false;
-        if (op == "R" || op == "r") {
-            write = false;
-        } else if (op == "W" || op == "w") {
-            write = true;
-        } else {
-            return bad("unknown op '" + op + "' (want R or W)");
-        }
-
-        std::string address;
-        if (!(fields >> address))
-            return bad("missing line index");
-        std::uint64_t pa = 0;
-        if (!parseUnsigned(address, &pa))
-            return bad("bad line index '" + address + "'");
-
-        std::uint64_t value = 0;
-        std::string payload;
-        if (fields >> payload) {
-            if (!write)
-                return bad("payload on a read record");
-            if (!parseUnsigned(payload, &value))
-                return bad("bad payload '" + payload + "'");
-        }
-        std::string extra;
-        if (fields >> extra)
-            return bad("trailing token '" + extra + "'");
-
-        out->push_back(FrontendRequest{pa, write, value, false});
-    }
-    if (out->empty()) {
-        *error = "trace '" + path + "' holds no records";
-        return false;
-    }
-    return true;
-}
 
 /** Stem of the trace path for the JSON point id ("tiny" from .../tiny.trace). */
 std::string
@@ -147,7 +75,7 @@ main(int argc, char **argv)
     }
 
     std::vector<FrontendRequest> trace;
-    if (!loadTrace(options.tracePath, &trace, &error)) {
+    if (!loadTraceFile(options.tracePath, &trace, &error)) {
         std::fprintf(stderr, "palermo_replay: %s\n", error.c_str());
         return 2;
     }
