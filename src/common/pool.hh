@@ -11,10 +11,13 @@
  * owning component is destroyed, which is exactly the lifetime of a
  * SimSession.
  *
- * Thread safety: none. Each PoolResource is owned by one component
- * (a Stash, a Channel, a controller) and used from that component's
- * session thread only. SweepRunner parallelism is across sessions,
- * never within one.
+ * Thread safety: none, by ownership. Each PoolResource is owned by one
+ * component (a Stash, a Channel, a controller) and only ever touched
+ * by the single thread currently advancing that component. SweepRunner
+ * parallelism is across sessions; channel-sharded parallel stepping
+ * (sim/parallel.hh) is within one session but assigns each Channel —
+ * and therefore its PoolResource — to exactly one worker per barrier
+ * epoch, so no pool is ever shared between concurrent threads.
  */
 
 #ifndef PALERMO_COMMON_POOL_HH

@@ -109,6 +109,15 @@ TimeWeighted::accumulate(double level, std::uint64_t ticks)
 }
 
 void
+TimeWeighted::accumulateExact(std::uint64_t integral, std::uint64_t ticks)
+{
+    // Bit-identical to per-tick accumulate() of integer levels: both
+    // sides only ever add exact integers into weighted_.
+    weighted_ += static_cast<double>(integral);
+    ticks_ += ticks;
+}
+
+void
 TimeWeighted::reset()
 {
     weighted_ = 0.0;

@@ -98,6 +98,17 @@ class TimeWeighted
   public:
     /** Account for the level holding for the given number of ticks. */
     void accumulate(double level, std::uint64_t ticks);
+
+    /**
+     * Bulk form for integer-valued levels: add a precomputed integral
+     * (sum over `ticks` observations of an integer level) in one step.
+     * Integers up to 2^53 are exact in double, and addition of exact
+     * integers is associative, so this is bit-identical to `ticks`
+     * per-observation accumulate() calls — the property the batched
+     * parallel-stepping fast path relies on for byte-stable metrics.
+     */
+    void accumulateExact(std::uint64_t integral, std::uint64_t ticks);
+
     void reset();
 
     double mean() const { return ticks_ ? weighted_ / ticks_ : 0.0; }

@@ -38,6 +38,21 @@ class Controller
     /** Advance one cycle; may enqueue DRAM requests. */
     virtual void tick(DramSystem &dram) = 0;
 
+    /**
+     * Batched idle advancement: account for `cycles` consecutive idle
+     * cycles in one call, exactly as `cycles` tick() calls would while
+     * idle() holds, touching no DRAM state. Callers may only invoke
+     * this when idle() is true. Returns false when the controller
+     * cannot prove its idle tick is pure accounting (the caller must
+     * fall back to per-cycle tick()); the default is that fallback.
+     */
+    virtual bool
+    tickIdle(std::uint64_t cycles)
+    {
+        (void)cycles;
+        return false;
+    }
+
     /** A DRAM read completed (tag issued by this controller). */
     virtual void onCompletion(std::uint64_t tag) = 0;
 

@@ -348,6 +348,18 @@ PalermoController::tryRetire(Tick now)
     }
 }
 
+bool
+PalermoController::tickIdle(std::uint64_t cycles)
+{
+    // Exactly `cycles` iterations of tick()'s idle early-return: the
+    // gate below (activeColumns_ == 0) is idle(), and that path is
+    // pure accounting.
+    palermo_assert(idle());
+    stats_.totalCycles += cycles;
+    stats_.idleCycles += cycles;
+    return true;
+}
+
 void
 PalermoController::tick(DramSystem &dram)
 {

@@ -116,6 +116,18 @@ SerialController::advance(Pending &req, Tick now)
     }
 }
 
+bool
+SerialController::tickIdle(std::uint64_t cycles)
+{
+    // Exactly `cycles` iterations of tick()'s idle early-return: the
+    // gate below (queue_.empty()) is idle(), and that path is pure
+    // accounting.
+    palermo_assert(idle());
+    stats_.totalCycles += cycles;
+    stats_.idleCycles += cycles;
+    return true;
+}
+
 void
 SerialController::tick(DramSystem &dram)
 {

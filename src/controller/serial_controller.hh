@@ -43,6 +43,7 @@ class SerialController : public Controller
     void push(BlockId pa, bool write, std::uint64_t value,
               bool dummy) override;
     void tick(DramSystem &dram) override;
+    bool tickIdle(std::uint64_t cycles) override;
     void onCompletion(std::uint64_t tag) override;
     bool idle() const override;
     const Stash &stashOf(unsigned level) const override;

@@ -151,6 +151,17 @@ Channel::tick(Tick now)
     }
 }
 
+std::uint64_t
+Channel::tickWindow(Tick now, std::uint64_t cycles)
+{
+    std::uint64_t integral = 0;
+    for (std::uint64_t i = 0; i < cycles; ++i) {
+        tick(now + i);
+        integral += occupancy();
+    }
+    return integral;
+}
+
 void
 Channel::handleRefresh(Tick now)
 {

@@ -3,6 +3,16 @@
  * Per-channel DRAM controller: FR-FCFS scheduling over split read/write
  * queues, write-drain hysteresis, write-to-read forwarding, bank timing,
  * tRRD/tFAW activate windows, CAS-to-CAS gating, and all-bank refresh.
+ *
+ * Thread ownership (channel-sharded parallel stepping): every mutable
+ * member of Channel — banks_, both queues, rowWant_, completions_, the
+ * bus-event heap, refresh/drain state, stats_, and the PoolResource
+ * backing the queue containers — is owned exclusively by this channel.
+ * Channels never read or write each other's state, and `rowKey` is the
+ * only static (a pure function), so disjoint channels may tick
+ * concurrently on different threads within one DramSystem cycle epoch.
+ * enqueue()/completions() remain coordinator-only: traffic routing and
+ * completion draining happen between epochs on the session thread.
  */
 
 #ifndef PALERMO_MEM_CHANNEL_HH
@@ -70,6 +80,28 @@ class Channel
 
     /** Advance one cycle: issue at most one command, retire data. */
     void tick(Tick now);
+
+    /**
+     * Advance a batch of cycles [now, now + cycles) in one call — the
+     * batched-epoch fast path used when the coordinator proved no
+     * cross-channel event (enqueue, completion delivery) can occur in
+     * the window. State evolution is exactly `cycles` calls to tick().
+     * @return The post-tick occupancy integral: sum over the window's
+     *         cycles of occupancy() after each tick. All addends are
+     *         small integers, so the sum is exact and order-free.
+     */
+    std::uint64_t tickWindow(Tick now, std::uint64_t cycles);
+
+    /**
+     * True when no read activity is pending: the read queue is empty
+     * and no completion awaits draining. Queued writes may still drain
+     * silently, so this — not occupancy() == 0 — is the channel-side
+     * gate for the batched-epoch fast path.
+     */
+    bool readQuiescent() const
+    {
+        return readQueue_.empty() && completions_.empty();
+    }
 
     /** Drain completions produced so far (appended in finish order). */
     std::vector<Completion> &completions() { return completions_; }

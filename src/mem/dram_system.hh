@@ -19,6 +19,8 @@
 
 namespace palermo {
 
+class WorkerPool;
+
 /** Construction parameters for the outsourced DRAM (Table III). */
 struct DramConfig
 {
@@ -67,6 +69,36 @@ class DramSystem
 
     /** Advance one cycle across all channels. */
     void tick();
+
+    /**
+     * Advance one cycle with channel ticks sharded across the pool's
+     * threads (channels are mutually independent within a cycle, so
+     * the result is byte-identical to tick()). Falls back to the
+     * serial loop when the pool is trivial, there is a single channel,
+     * or every queue is empty (idle ticks are too cheap to shard).
+     */
+    void tickParallel(WorkerPool &pool);
+
+    /**
+     * Batched-epoch fast path: advance `cycles` cycles with one
+     * barrier (or none, serially, when `pool` is null/trivial). Legal
+     * only when the caller proved the window is cross-channel quiet —
+     * readQuiescent() holds and nothing will be enqueued — since
+     * channels advance through the whole window independently.
+     * @return Sum over the window of post-tick occupancy() across all
+     *         channels (exact: integer addends), so the caller can
+     *         keep its time-weighted occupancy bit-identical to the
+     *         per-cycle path.
+     */
+    std::uint64_t tickWindow(WorkerPool *pool, std::uint64_t cycles);
+
+    /**
+     * True when no read is queued in any channel and no completion is
+     * pending delivery (channel outboxes and the internal pending list
+     * are empty). Writes may still be draining; they produce no
+     * observable event, so this is the DRAM-side batched-epoch gate.
+     */
+    bool readQuiescent() const;
 
     /** Current tick. */
     Tick now() const { return now_; }

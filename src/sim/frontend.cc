@@ -6,6 +6,8 @@
 
 #include "sim/frontend.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace palermo {
@@ -31,6 +33,16 @@ Frontend::wantsIssue(Tick now) const
     if (!constantRate_)
         return true;
     return now >= nextSlot_;
+}
+
+Tick
+Frontend::nextIssueAt(Tick now) const
+{
+    if (exhausted())
+        return kNever;
+    if (!constantRate_)
+        return now;
+    return std::max(now, nextSlot_);
 }
 
 FrontendRequest

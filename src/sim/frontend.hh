@@ -46,8 +46,19 @@ class Frontend
              unsigned interval, double demand_probability,
              std::uint64_t seed);
 
+    /** Tick value meaning "no further issue will ever happen". */
+    static constexpr Tick kNever = ~Tick{0};
+
     /** True if a request should be offered to the controller now. */
     bool wantsIssue(Tick now) const;
+
+    /**
+     * Earliest tick >= now at which wantsIssue can become true: `now`
+     * itself in saturated mode, the next slot in constant-rate mode,
+     * kNever once exhausted. Lets the session skip idle cycles in one
+     * batched epoch without changing any admission decision.
+     */
+    Tick nextIssueAt(Tick now) const;
 
     /** All real misses issued? */
     bool exhausted() const { return issued_ >= totalRequests_; }

@@ -8,6 +8,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/log.hh"
 
@@ -190,6 +191,15 @@ jsonNumber(double value)
 const char *
 gitDescribe()
 {
+    // Runtime override first: committed artifacts (BENCH_*.json,
+    // goldens) must carry the provenance of the commit they describe,
+    // not the "-dirty" describe of whatever tree regenerated them.
+    // Diff tools ignore the generator object either way; the override
+    // keeps the committed bytes honest and stable.
+    static const char *const override_ =
+        std::getenv("PALERMO_GIT_DESCRIBE");
+    if (override_ != nullptr && override_[0] != '\0')
+        return override_;
 #ifdef PALERMO_GIT_DESCRIBE
     return PALERMO_GIT_DESCRIBE;
 #else

@@ -83,7 +83,13 @@ std::string jsonEscape(const std::string &text);
  */
 std::string jsonNumber(double value);
 
-/** Build provenance (git describe at configure time, or "unknown"). */
+/**
+ * Build provenance: the PALERMO_GIT_DESCRIBE environment variable when
+ * set (for regenerating committed artifacts with the provenance of the
+ * commit they describe), else the configure-time git describe, else
+ * "unknown". Comparison tools (perf_compare, the determinism golden)
+ * ignore the provenance line when diffing.
+ */
 const char *gitDescribe();
 
 /** Renders RunRecords as "palermo-metrics-v1" documents. */

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Epoch-barrier worker pool: persistent threads, sense-free epoch
+ * counter, staged spin/yield/futex waits, allocation-free dispatch.
+ */
+
+#include "sim/parallel.hh"
+
+#include "common/log.hh"
+
+namespace palermo {
+
+namespace {
+
+/** Spin iterations before yielding; yields before blocking. */
+constexpr unsigned kSpinIters = 2048;
+constexpr unsigned kYieldIters = 64;
+
+} // namespace
+
+WorkerPool::WorkerPool(unsigned threads)
+{
+    const unsigned workers = threads > 1 ? threads - 1 : 0;
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    stop_.store(true, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+WorkerPool::run(Task task, void *ctx, unsigned shards)
+{
+    palermo_assert(task != nullptr);
+    if (shards == 0)
+        return;
+    if (workers_.empty() || shards == 1) {
+        for (unsigned shard = 0; shard < shards; ++shard)
+            task(ctx, shard);
+        return;
+    }
+
+    task_ = task;
+    ctx_ = ctx;
+    shards_ = shards;
+    next_.store(0, std::memory_order_relaxed);
+    arrivals_.store(static_cast<unsigned>(workers_.size()),
+                    std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+
+    // The coordinator works too: claim shards until none remain.
+    for (;;) {
+        const unsigned shard =
+            next_.fetch_add(1, std::memory_order_relaxed);
+        if (shard >= shards)
+            break;
+        task(ctx, shard);
+    }
+
+    // Epoch barrier: wait for every worker to retire. Stage the wait so
+    // short epochs stay on-core and long ones release the CPU.
+    unsigned spins = 0;
+    while (true) {
+        const unsigned left = arrivals_.load(std::memory_order_acquire);
+        if (left == 0)
+            break;
+        if (spins < kSpinIters) {
+            ++spins;
+        } else if (spins < kSpinIters + kYieldIters) {
+            ++spins;
+            std::this_thread::yield();
+        } else {
+            arrivals_.wait(left, std::memory_order_acquire);
+        }
+    }
+}
+
+void
+WorkerPool::waitEpoch(std::uint64_t last_seen)
+{
+    unsigned spins = 0;
+    while (epoch_.load(std::memory_order_acquire) == last_seen) {
+        if (spins < kSpinIters) {
+            ++spins;
+        } else if (spins < kSpinIters + kYieldIters) {
+            ++spins;
+            std::this_thread::yield();
+        } else {
+            epoch_.wait(last_seen, std::memory_order_acquire);
+        }
+    }
+}
+
+void
+WorkerPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        waitEpoch(seen);
+        seen = epoch_.load(std::memory_order_acquire);
+        if (stop_.load(std::memory_order_relaxed))
+            return;
+        for (;;) {
+            const unsigned shard =
+                next_.fetch_add(1, std::memory_order_relaxed);
+            if (shard >= shards_)
+                break;
+            task_(ctx_, shard);
+        }
+        if (arrivals_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            arrivals_.notify_one();
+    }
+}
+
+} // namespace palermo

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Epoch-barrier worker pool for intra-run parallelism.
+ *
+ * One SimSession steps N threads through barrier-synchronized cycle
+ * epochs: the coordinating thread (the session driver) publishes a
+ * task, workers grab shard indices, everyone meets at the epoch
+ * barrier, and the coordinator proceeds knowing every shard finished.
+ * Threads are persistent — created once per pool, reused for millions
+ * of epochs — so the per-epoch cost is the barrier, not thread spawn.
+ *
+ * Dispatch is a raw function pointer plus a context pointer: run()
+ * performs no heap allocation, keeping the simulator's allocs/request
+ * budget (tests/test_alloc_budget.cc) intact at any thread count.
+ *
+ * Waits are staged spin -> yield -> std::atomic::wait (futex), so the
+ * pool stays efficient on dedicated cores yet degrades gracefully when
+ * threads outnumber cores (CI runners, oversubscribed hosts).
+ */
+
+#ifndef PALERMO_SIM_PARALLEL_HH
+#define PALERMO_SIM_PARALLEL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace palermo {
+
+/**
+ * Persistent thread pool with epoch-barrier dispatch.
+ *
+ * Thread ownership: run() may only be called from one coordinating
+ * thread at a time (the SimSession driver). Shards of one epoch run
+ * concurrently and must not share mutable state; the coordinator
+ * observes all shard effects after run() returns (release/acquire on
+ * the epoch and arrival counters).
+ */
+class WorkerPool
+{
+  public:
+    /** Shard body: invoked once per shard index in [0, shards). */
+    using Task = void (*)(void *ctx, unsigned shard);
+
+    /**
+     * @param threads Total threads including the coordinator; the pool
+     *        spawns threads - 1 workers. 0 and 1 mean "no workers".
+     */
+    explicit WorkerPool(unsigned threads);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Total threads including the coordinator. */
+    unsigned threads() const
+    {
+        return static_cast<unsigned>(workers_.size()) + 1;
+    }
+
+    /**
+     * Run task(ctx, shard) for every shard in [0, shards), distributing
+     * shards over the workers and the calling thread, and return when
+     * all shards completed (the epoch barrier). Shard-to-thread
+     * assignment is dynamic: shards must be independent, and outputs
+     * must be indexed by shard, never by thread.
+     */
+    void run(Task task, void *ctx, unsigned shards);
+
+  private:
+    void workerLoop();
+    void waitEpoch(std::uint64_t last_seen);
+
+    std::vector<std::thread> workers_;
+
+    // Epoch protocol: the coordinator publishes task_/ctx_/shards_
+    // (plain stores), then release-increments epoch_. Workers acquire
+    // the new epoch, claim shards via next_, and acq_rel-decrement
+    // arrivals_; the coordinator waits for arrivals_ == 0, which
+    // publishes all shard effects back to it.
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<unsigned> arrivals_{0};
+    std::atomic<unsigned> next_{0};
+    std::atomic<bool> stop_{false};
+    Task task_ = nullptr;
+    void *ctx_ = nullptr;
+    unsigned shards_ = 0;
+};
+
+} // namespace palermo
+
+#endif // PALERMO_SIM_PARALLEL_HH

@@ -88,6 +88,13 @@ parseRunArgs(int argc, const char *const *argv, RunOptions *options,
                 || jobs == 0)
                 return fail(error, "--jobs needs a positive integer");
             result.jobs = static_cast<unsigned>(jobs);
+        } else if (name == "--sim-threads") {
+            std::uint64_t threads = 0;
+            if (!cursor.value(&value)
+                || !parseUnsigned(value, &threads) || threads == 0)
+                return fail(error,
+                            "--sim-threads needs a positive integer");
+            result.simThreads = static_cast<unsigned>(threads);
         } else {
             return fail(error, "unknown flag '" + name + "'");
         }
@@ -111,6 +118,7 @@ RunOptions::baseConfig() const
         config.protocol.seed = seed;
     }
     config.constantRate = constantRate;
+    config.simThreads = simThreads;
     return config;
 }
 
@@ -215,6 +223,9 @@ runUsage()
        << "                    channels, prefetch, seed; repeatable\n"
        << "  --jobs N          worker threads for the sweep "
           "(default: 1)\n"
+       << "  --sim-threads N   threads stepping each session "
+          "(channel-sharded,\n"
+       << "                    byte-identical to serial; default: 1)\n"
        << "  --json PATH       write palermo-metrics-v1 JSON "
           "('-' = stdout)\n"
        << "  --list            print the expanded grid and exit\n"
@@ -276,6 +287,13 @@ parseReplayArgs(int argc, const char *const *argv,
                 || result.progress == 0)
                 return fail(error,
                             "--progress needs a positive integer");
+        } else if (name == "--sim-threads") {
+            std::uint64_t threads = 0;
+            if (!cursor.value(&value)
+                || !parseUnsigned(value, &threads) || threads == 0)
+                return fail(error,
+                            "--sim-threads needs a positive integer");
+            result.simThreads = static_cast<unsigned>(threads);
         } else if (name == "--json") {
             if (!cursor.value(&value))
                 return fail(error, "--json needs a path (or '-')");
@@ -300,6 +318,7 @@ ReplayOptions::baseConfig() const
         config.seed = seed;
         config.protocol.seed = seed;
     }
+    config.simThreads = simThreads;
     return config;
 }
 
@@ -323,6 +342,9 @@ replayUsage()
           "controller (default: 8)\n"
        << "  --progress N      print a mid-run snapshot line to stderr "
           "every N served\n"
+       << "  --sim-threads N   threads stepping the session "
+          "(channel-sharded,\n"
+       << "                    byte-identical to serial; default: 1)\n"
        << "  --json PATH       write palermo-metrics-v1 JSON "
           "('-' = stdout)\n"
        << "  --list-protocols  print the protocol registry and exit\n"

@@ -18,6 +18,13 @@ namespace {
 /** Generous runaway guard: no experiment in this repo needs more. */
 constexpr Tick kTickLimit = 2'000'000'000ull;
 
+/**
+ * Cap on one batched quiescent epoch in finish(): bounds how long the
+ * loop goes without consulting the runaway guard while still fully
+ * amortizing barrier and loop overhead.
+ */
+constexpr std::uint64_t kBulkChunk = 1u << 16;
+
 } // namespace
 
 SimSession::SimSession(ProtocolKind kind, const SystemConfig &config)
@@ -44,6 +51,8 @@ SimSession::SimSession(const SystemConfig &config,
       measuring_(warmupServed_ == 0), nextSample_(window_)
 {
     palermo_assert(controller_ != nullptr);
+    if (config.simThreads > 1)
+        pool_ = std::make_unique<WorkerPool>(config.simThreads);
 }
 
 void
@@ -85,6 +94,53 @@ SimSession::admit(Tick now)
 }
 
 void
+SimSession::tickDram()
+{
+    if (pool_ != nullptr)
+        dram_->tickParallel(*pool_);
+    else
+        dram_->tick();
+}
+
+std::uint64_t
+SimSession::quiescentWindow(std::uint64_t bound) const
+{
+    if (bound == 0 || !controller_->idle() || !dram_->readQuiescent())
+        return 0;
+    const ControllerStats &cs = controller_->stats();
+    // A multi-request commit can leave several stash samples (or the
+    // warmup flip) pending; those transients must run per-cycle.
+    if (cs.served >= nextSample_)
+        return 0;
+    if (!measuring_ && cs.served >= warmupServed_)
+        return 0;
+    if (frontend_ != nullptr) {
+        const Tick now = dram_->now();
+        const Tick next = frontend_->nextIssueAt(now);
+        if (next <= now)
+            return 0;
+        if (next == Frontend::kNever)
+            return bound;
+        return std::min<std::uint64_t>(bound, next - now);
+    }
+    if (!inbox_.empty())
+        return 0;
+    return bound;
+}
+
+std::uint64_t
+SimSession::bulkStep(std::uint64_t bound)
+{
+    const std::uint64_t window = quiescentWindow(bound);
+    if (window == 0 || !controller_->tickIdle(window))
+        return 0;
+    palermo_assert(dram_->now() < kTickLimit, "simulation runaway");
+    outstanding_.accumulateExact(
+        dram_->tickWindow(pool_.get(), window), window);
+    return window;
+}
+
+void
 SimSession::runCycle()
 {
     const Tick now = dram_->now();
@@ -98,7 +154,7 @@ SimSession::runCycle()
     admit(now);
 
     controller_->tick(*dram_);
-    dram_->tick();
+    tickDram();
     outstanding_.accumulate(static_cast<double>(dram_->occupancy()), 1);
 
     ControllerStats &cs = controller_->stats();
@@ -124,8 +180,14 @@ SimSession::runCycle()
 void
 SimSession::step(std::uint64_t cycles)
 {
-    for (std::uint64_t i = 0; i < cycles; ++i)
+    while (cycles > 0) {
+        if (const std::uint64_t advanced = bulkStep(cycles)) {
+            cycles -= advanced;
+            continue;
+        }
         runCycle();
+        --cycles;
+    }
 }
 
 void
@@ -137,7 +199,7 @@ SimSession::drain()
         for (const Completion &completion : dram_->drainCompletions())
             controller_->onCompletion(completion.tag);
         controller_->tick(*dram_);
-        dram_->tick();
+        tickDram();
         outstanding_.accumulate(
             static_cast<double>(dram_->occupancy()), 1);
     }
@@ -203,8 +265,14 @@ SimSession::snapshot() const
 RunMetrics
 SimSession::finish()
 {
-    while (!done())
-        step();
+    // done() cannot change inside a quiescent window (served is frozen
+    // while the controller is idle), so checking it once per batched
+    // epoch is exact.
+    while (!done()) {
+        if (bulkStep(kBulkChunk))
+            continue;
+        runCycle();
+    }
     drain();
     return snapshot();
 }

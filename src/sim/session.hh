@@ -17,6 +17,14 @@
  * admit traffic, tick controller and DRAM, account), so a
  * frontend-bound session stepped to completion produces byte-identical
  * palermo-metrics-v1 JSON to the pre-session code.
+ *
+ * With config.simThreads > 1 the session owns a WorkerPool and shards
+ * channel ticks across it inside each cycle (and batches barrier
+ * epochs over provably quiescent windows). Channels are independent
+ * within a cycle and the controller/frontend half stays on the
+ * coordinating thread, so the parallel schedule is an implementation
+ * detail: every stat, stash sample, and metrics byte is identical to
+ * the serial run (tests/test_parallel_identity.cc).
  */
 
 #ifndef PALERMO_SIM_SESSION_HH
@@ -31,6 +39,7 @@
 #include "controller/controller.hh"
 #include "mem/dram_system.hh"
 #include "sim/frontend.hh"
+#include "sim/parallel.hh"
 #include "sim/system_config.hh"
 
 namespace palermo {
@@ -157,11 +166,32 @@ class SimSession
   private:
     void runCycle();
     void admit(Tick now);
+    void tickDram();
+
+    /**
+     * Largest batchable window of provably event-free cycles starting
+     * now, capped at `bound`: the controller is idle (its tick is pure
+     * accounting), no read or completion is pending in DRAM, no stash
+     * sample or warmup flip is outstanding, and no traffic can be
+     * admitted before the window ends. 0 means "take the per-cycle
+     * path".
+     */
+    std::uint64_t quiescentWindow(std::uint64_t bound) const;
+
+    /**
+     * Try to advance a whole quiescent window (at most `bound` cycles)
+     * in one batched epoch: bulk controller idle accounting + one
+     * DramSystem::tickWindow + exact occupancy integration. State and
+     * statistics evolve exactly as the equivalent runCycle() sequence.
+     * @return Cycles advanced; 0 when the per-cycle path must run.
+     */
+    std::uint64_t bulkStep(std::uint64_t bound);
 
     SystemConfig config_;
     std::unique_ptr<DramSystem> dram_;
     std::unique_ptr<Controller> controller_;
     std::unique_ptr<Frontend> frontend_; ///< Null when externally fed.
+    std::unique_ptr<WorkerPool> pool_;   ///< Null when simThreads <= 1.
     std::deque<FrontendRequest> inbox_;  ///< submit()ted, not admitted.
 
     // Warmup and sampling state (formerly locals of Simulator::run).

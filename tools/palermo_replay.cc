@@ -17,6 +17,7 @@
  * usage/trace-format errors.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -103,6 +104,7 @@ main(int argc, char **argv)
     SimSession session(options.protocol, config);
     std::size_t next = 0;
     std::uint64_t next_progress = options.progress;
+    const auto wall_start = std::chrono::steady_clock::now();
     while (!session.done()) {
         while (next < trace.size() && session.backlog() < options.depth)
             session.submit(trace[next++]);
@@ -110,13 +112,22 @@ main(int argc, char **argv)
         if (options.progress && session.served() >= next_progress) {
             next_progress += options.progress;
             const RunMetrics mid = session.snapshot();
+            // Wall-clock throughput alongside simulated time, so
+            // --sim-threads scaling is visible mid-run.
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
+            const double wall_rps = elapsed > 0.0
+                ? static_cast<double>(session.served()) / elapsed
+                : 0.0;
             std::fprintf(stderr,
                          "progress: served %llu/%zu  cycles %llu  "
-                         "req/kcyc %.3f\n",
+                         "req/kcyc %.3f  wall-req/s %.0f\n",
                          static_cast<unsigned long long>(session.served()),
                          trace.size(),
                          static_cast<unsigned long long>(session.now()),
-                         mid.requestsPerKilocycle);
+                         mid.requestsPerKilocycle, wall_rps);
         }
     }
     session.drain();

@@ -20,6 +20,12 @@
  * baseline grid (CI runs the small sizes only), but every fresh point
  * must exist in the baseline with an identical config.
  *
+ * The documents' generator object (tool name, git provenance) is
+ * deliberately excluded from every comparison: provenance describes
+ * who rendered the bytes, not what was simulated. A baseline whose
+ * provenance ends in "-dirty" draws a warning — regenerate it with
+ * PALERMO_GIT_DESCRIBE set to the commit it belongs to.
+ *
  * Exit status: 0 pass, 1 regression, 2 usage/I-O/incomparable inputs.
  */
 
@@ -245,6 +251,21 @@ main(int argc, char **argv)
         || !loadDocument(options.freshPath, &fresh, &error)) {
         std::fprintf(stderr, "perf_compare: %s\n", error.c_str());
         return 2;
+    }
+
+    // Provenance is ignored in all comparisons below, but a dirty
+    // baseline is a hygiene bug worth flagging: its numbers cannot be
+    // attributed to any commit.
+    const JsonValue *base_git = baseline.at("generator.git");
+    if (base_git != nullptr && base_git->isString()
+        && base_git->string().size() >= 6
+        && base_git->string().substr(base_git->string().size() - 6)
+               == "-dirty") {
+        std::fprintf(stderr,
+                     "perf_compare: warning: baseline provenance '%s' "
+                     "is dirty; regenerate it with PALERMO_GIT_DESCRIBE "
+                     "set to the owning commit\n",
+                     base_git->string().c_str());
     }
 
     const JsonValue *fresh_points = fresh.find("points");
