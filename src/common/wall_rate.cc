@@ -1,0 +1,25 @@
+/**
+ * @file
+ * WallRateMeter: the shared wall-clock req/s computation.
+ */
+
+#include "common/wall_rate.hh"
+
+namespace palermo {
+
+double
+WallRateMeter::elapsedSeconds() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+}
+
+double
+WallRateMeter::perSecond(std::uint64_t events) const
+{
+    const double elapsed = elapsedSeconds();
+    return elapsed > 0.0 ? static_cast<double>(events) / elapsed : 0.0;
+}
+
+} // namespace palermo

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * TenantDirectory: PRF key-to-slice resolution and slice geometry.
+ */
+
+#include "service/tenant.hh"
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace palermo {
+
+TenantDirectory::TenantDirectory(unsigned tenants,
+                                 std::uint64_t num_blocks,
+                                 std::uint64_t seed)
+    : tenants_(tenants), numBlocks_(num_blocks),
+      sliceSize_(tenants ? num_blocks / tenants : 0),
+      hasher_(mix64(seed ^ 0x74656e616e747321ull))
+{
+    palermo_assert(tenants >= 1, "need at least one tenant");
+    palermo_assert(sliceSize_ >= 1,
+                   "protected space too small for the tenant count");
+}
+
+std::uint64_t
+TenantDirectory::sliceBase(unsigned tenant) const
+{
+    palermo_assert(tenant < tenants_, "tenant index out of range");
+    return static_cast<std::uint64_t>(tenant) * sliceSize_;
+}
+
+BlockId
+TenantDirectory::blockOf(unsigned tenant, std::uint64_t key) const
+{
+    // Domain-separate tenants before hashing so equal keys land on
+    // unrelated offsets in different slices.
+    const std::uint64_t input =
+        key ^ mix64(static_cast<std::uint64_t>(tenant) + 1);
+    return sliceBase(tenant) + hasher_.evalMod(input, sliceSize_);
+}
+
+BlockId
+TenantDirectory::blockOfKey(unsigned tenant,
+                            const std::string &key) const
+{
+    std::uint64_t h = 1469598103934665603ull; // FNV-1a offset basis.
+    for (char c : key)
+        h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+    return blockOf(tenant, h);
+}
+
+bool
+TenantDirectory::owns(unsigned tenant, BlockId block) const
+{
+    const std::uint64_t base = sliceBase(tenant);
+    return block >= base && block < base + sliceSize_;
+}
+
+} // namespace palermo

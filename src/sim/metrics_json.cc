@@ -315,7 +315,8 @@ MetricsJson::writeMetrics(JsonWriter &w, const RunMetrics &metrics)
 }
 
 void
-MetricsJson::writeRecord(JsonWriter &w, const RunRecord &record)
+MetricsJson::writeRecord(JsonWriter &w, const RunRecord &record,
+                         const std::function<void(JsonWriter &)> &extra)
 {
     w.beginObject();
     w.field("id", record.point.id);
@@ -329,6 +330,8 @@ MetricsJson::writeRecord(JsonWriter &w, const RunRecord &record)
     writeConfig(w, record.point.config);
     w.key("metrics");
     writeMetrics(w, record.metrics);
+    if (extra)
+        extra(w);
     w.endObject();
 }
 

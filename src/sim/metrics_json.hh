@@ -16,6 +16,7 @@
 #define PALERMO_SIM_METRICS_JSON_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -116,8 +117,15 @@ class MetricsJson
     static void writeHeader(JsonWriter &w, const std::string &tool,
                             const std::string &schema = kSchema);
 
-    /** Append one design-point entry (object) to an open array. */
-    static void writeRecord(JsonWriter &w, const RunRecord &record);
+    /**
+     * Append one design-point entry (object) to an open array. When
+     * @p extra is set it runs before the closing brace, so producers
+     * with additional per-point blocks (the serving layer's "service"
+     * object) extend the schema without forking the record shape.
+     */
+    static void writeRecord(
+        JsonWriter &w, const RunRecord &record,
+        const std::function<void(JsonWriter &)> &extra = nullptr);
 
     /** Append a SystemConfig object under the current key. */
     static void writeConfig(JsonWriter &w, const SystemConfig &config);

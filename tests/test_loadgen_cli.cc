@@ -1,0 +1,180 @@
+/**
+ * @file palermo_loadgen CLI tests: flag parsing (sweep lists, modes,
+ * malformed input), point expansion order, end-to-end design-point
+ * runs (open and closed loop), document rendering, and the
+ * service-aware sanity gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "service/loadgen.hh"
+
+namespace palermo {
+namespace {
+
+bool
+parse(const std::vector<const char *> &args, LoadgenOptions *options,
+      std::string *error)
+{
+    return parseLoadgenArgs(static_cast<int>(args.size()), args.data(),
+                            options, error);
+}
+
+TEST(LoadgenCliTest, DefaultsAreClosedLoopProbe)
+{
+    LoadgenOptions options;
+    std::string error;
+    ASSERT_TRUE(parse({}, &options, &error)) << error;
+    EXPECT_TRUE(options.openloopRates.empty());
+    EXPECT_TRUE(options.closedloopConcurrency.empty());
+
+    const std::vector<LoadPointSpec> points = expandLoadPoints(options);
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_TRUE(points[0].closedLoop);
+    EXPECT_EQ(points[0].concurrency, 4u);
+}
+
+TEST(LoadgenCliTest, ParsesRateAndConcurrencyLists)
+{
+    LoadgenOptions options;
+    std::string error;
+    ASSERT_TRUE(parse({"--openloop", "0.5,2,8", "--closedloop=1,16",
+                       "--arrival", "fixed", "--dist", "uniform",
+                       "--tenants", "4", "--write-frac", "0.25",
+                       "--queue-policy", "block", "--requests", "500"},
+                      &options, &error))
+        << error;
+    ASSERT_EQ(options.openloopRates.size(), 3u);
+    EXPECT_DOUBLE_EQ(options.openloopRates[0], 0.5);
+    EXPECT_DOUBLE_EQ(options.openloopRates[2], 8.0);
+    ASSERT_EQ(options.closedloopConcurrency.size(), 2u);
+    EXPECT_EQ(options.closedloopConcurrency[1], 16u);
+    EXPECT_EQ(options.arrival, ArrivalProcess::Fixed);
+    EXPECT_EQ(options.dist, KeyDist::Uniform);
+    EXPECT_EQ(options.tenants, 4u);
+    EXPECT_DOUBLE_EQ(options.writeFraction, 0.25);
+    EXPECT_EQ(options.queuePolicy, QueuePolicy::Block);
+    EXPECT_EQ(options.requests, 500u);
+
+    // Expansion order: open points in flag order, then closed points.
+    const std::vector<LoadPointSpec> points = expandLoadPoints(options);
+    ASSERT_EQ(points.size(), 5u);
+    EXPECT_FALSE(points[0].closedLoop);
+    EXPECT_DOUBLE_EQ(points[2].rate, 8.0);
+    EXPECT_TRUE(points[3].closedLoop);
+    EXPECT_EQ(points[4].concurrency, 16u);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(points[i].index, i);
+}
+
+TEST(LoadgenCliTest, RejectsMalformedInput)
+{
+    LoadgenOptions options;
+    std::string error;
+    EXPECT_FALSE(parse({"--openloop", "0"}, &options, &error));
+    EXPECT_FALSE(parse({"--openloop", "2,"}, &options, &error));
+    EXPECT_FALSE(parse({"--openloop", "fast"}, &options, &error));
+    EXPECT_FALSE(parse({"--closedloop", "0"}, &options, &error));
+    EXPECT_FALSE(parse({"--arrival", "bursty"}, &options, &error));
+    EXPECT_FALSE(parse({"--dist", "pareto"}, &options, &error));
+    EXPECT_FALSE(parse({"--write-frac", "1.5"}, &options, &error));
+    EXPECT_FALSE(parse({"--tenants", "0"}, &options, &error));
+    EXPECT_FALSE(parse({"--queue-policy", "drop"}, &options, &error));
+    EXPECT_FALSE(parse({"--queue-capacity"}, &options, &error));
+    EXPECT_FALSE(parse({"--frobnicate"}, &options, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+LoadgenOptions
+tinyOptions()
+{
+    LoadgenOptions options;
+    options.blocks = 1 << 12;
+    options.requests = 120;
+    options.warmupFraction = 0.25;
+    return options;
+}
+
+TEST(LoadgenCliTest, ClosedLoopPointCompletesItsTarget)
+{
+    const LoadgenOptions options = tinyOptions();
+    LoadPointSpec spec;
+    spec.closedLoop = true;
+    spec.concurrency = 4;
+
+    const ServiceRunRecord record = runLoadPoint(options, spec);
+    // 120 measured + 30 warmup, all drained: the measured window
+    // balances and the id names the mode.
+    EXPECT_EQ(record.service.global.completed, 120u);
+    EXPECT_EQ(record.service.global.accepted, 120u);
+    EXPECT_EQ(record.service.global.rejected, 0u);
+    EXPECT_GT(record.service.achievedPerKilocycle, 0.0);
+    EXPECT_EQ(record.base.point.id, "palermo/closed/conc=4");
+
+    std::vector<std::string> problems;
+    EXPECT_TRUE(serviceSanityCheck({record}, &problems))
+        << (problems.empty() ? "" : problems.front());
+}
+
+TEST(LoadgenCliTest, OpenLoopPointTracksOfferedRate)
+{
+    LoadgenOptions options = tinyOptions();
+    options.arrival = ArrivalProcess::Fixed;
+    LoadPointSpec spec;
+    spec.rate = 2.0; // Far below saturation: nothing may be rejected.
+
+    const ServiceRunRecord record = runLoadPoint(options, spec);
+    EXPECT_EQ(record.service.global.rejected, 0u);
+    EXPECT_EQ(record.service.global.completed, 120u);
+    // Fixed arrivals at rate 2 achieve ~2/kilocycle when unsaturated.
+    EXPECT_NEAR(record.service.achievedPerKilocycle, 2.0, 0.3);
+    EXPECT_EQ(record.base.point.id, "palermo/open-fixed/rate=2");
+
+    std::vector<std::string> problems;
+    EXPECT_TRUE(serviceSanityCheck({record}, &problems))
+        << (problems.empty() ? "" : problems.front());
+}
+
+TEST(LoadgenCliTest, DocumentIsByteDeterministic)
+{
+    LoadgenOptions options = tinyOptions();
+    options.openloopRates = {2.0};
+    options.closedloopConcurrency = {2};
+
+    const auto render = [&options]() {
+        std::vector<ServiceRunRecord> records;
+        for (const LoadPointSpec &spec : expandLoadPoints(options))
+            records.push_back(runLoadPoint(options, spec));
+        return loadgenDocument(records);
+    };
+    const std::string first = render();
+    EXPECT_EQ(first, render());
+    EXPECT_NE(first.find("\"schema\": \"palermo-metrics-v1\""),
+              std::string::npos);
+    EXPECT_NE(first.find("\"mode\": \"open\""), std::string::npos);
+    EXPECT_NE(first.find("\"mode\": \"closed\""), std::string::npos);
+    EXPECT_NE(first.find("\"service\""), std::string::npos);
+    EXPECT_NE(first.find("\"max_achieved_per_kilocycle\""),
+              std::string::npos);
+}
+
+TEST(LoadgenCliTest, SanityGateCatchesLostRequests)
+{
+    const LoadgenOptions options = tinyOptions();
+    LoadPointSpec spec;
+    spec.closedLoop = true;
+    spec.concurrency = 2;
+    ServiceRunRecord record = runLoadPoint(options, spec);
+
+    record.service.global.accepted += 1; // Simulate a lost request.
+    std::vector<std::string> problems;
+    EXPECT_FALSE(serviceSanityCheck({record}, &problems));
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_NE(problems[0].find("lost requests"), std::string::npos);
+}
+
+} // namespace
+} // namespace palermo
