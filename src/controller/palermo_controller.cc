@@ -17,8 +17,7 @@ namespace palermo {
 PalermoController::PalermoController(std::unique_ptr<PalermoOram> protocol,
                                      const PalermoControllerConfig &config)
     : protocol_(std::move(protocol)), config_(config),
-      tagMap_(TagMap::allocator_type(&pool_)),
-      inFlightBlocks_(BlockMap::allocator_type(&pool_))
+      tagMap_(&pool_), inFlightBlocks_(&pool_)
 {
     palermo_assert(protocol_ != nullptr);
     palermo_assert(config.columns >= 1);

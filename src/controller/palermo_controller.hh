@@ -27,9 +27,9 @@
 
 #include <array>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/pool.hh"
 #include "controller/controller.hh"
 #include "oram/palermo.hh"
@@ -143,13 +143,10 @@ class PalermoController : public Controller
      */
     std::uint64_t swGlobalCleared_ = 0;
 
-    using TagMap = std::unordered_map<
-        std::uint64_t, std::uint32_t, std::hash<std::uint64_t>,
-        std::equal_to<std::uint64_t>,
-        PoolAllocator<std::pair<const std::uint64_t, std::uint32_t>>>;
-    using BlockMap = std::unordered_map<
-        BlockId, unsigned, std::hash<BlockId>, std::equal_to<BlockId>,
-        PoolAllocator<std::pair<const BlockId, unsigned>>>;
+    /** Flat maps: probed per DRAM completion (tags) and per miss
+     * (MSHR merge); count/lookup only, never iterated. */
+    using TagMap = FlatMap<std::uint64_t, std::uint32_t>;
+    using BlockMap = FlatMap<BlockId, unsigned>;
 
     PoolResource pool_; ///< Backs the maps below; declared before them.
 

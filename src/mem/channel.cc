@@ -35,7 +35,9 @@ Channel::Channel(const DramOrg &org, const DramTiming &timing,
       banks_(org.banksPerChannel()),
       readQueue_(PoolAllocator<Entry>(&pool_)),
       writeQueue_(PoolAllocator<Entry>(&pool_)),
-      rowWant_(RowWantMap::allocator_type(&pool_)),
+      rowWant_(&pool_),
+      openRowWant_(org.banksPerChannel(), 0),
+      bankWant_(org.banksPerChannel(), 0),
       actWindow_(PoolAllocator<Tick>(&pool_)),
       nextRefresh_(timing.tREFI),
       drainHigh_(std::max(2u, queue_depth * 3 / 4)),
@@ -54,6 +56,15 @@ void
 Channel::trackEnqueue(const Entry &e)
 {
     ++rowWant_[rowKey(e.flatBank, e.dec.row)];
+    ++bankWant_[e.flatBank];
+    const Bank &bank = banks_[e.flatBank];
+    if (!bank.isOpen()) {
+        ++closedBankWant_;
+    } else if (bank.openRow() == e.dec.row) {
+        ++openRowWant_[e.flatBank];
+        ++rowHitWant_;
+    }
+    resetScanMemos();
 }
 
 void
@@ -62,6 +73,27 @@ Channel::trackDequeue(const Entry &e)
     const auto it = rowWant_.find(rowKey(e.flatBank, e.dec.row));
     if (--it->second == 0)
         rowWant_.erase(it);
+    --bankWant_[e.flatBank];
+    const Bank &bank = banks_[e.flatBank];
+    if (!bank.isOpen()) {
+        --closedBankWant_;
+    } else if (bank.openRow() == e.dec.row) {
+        --openRowWant_[e.flatBank];
+        --rowHitWant_;
+    }
+    resetScanMemos();
+}
+
+void
+Channel::closeRow(std::size_t flat_bank, Tick now)
+{
+    banks_[flat_bank].precharge(now, timing_);
+    // Open -> closed: the bank's row-hit entries (if any) and its
+    // mismatched entries all become closed-bank demand.
+    rowHitWant_ -= openRowWant_[flat_bank];
+    openRowWant_[flat_bank] = 0;
+    closedBankWant_ += bankWant_[flat_bank];
+    resetScanMemos();
 }
 
 bool
@@ -169,11 +201,11 @@ Channel::handleRefresh(Tick now)
     // Close open banks as their precharge constraints allow, then issue
     // the all-bank refresh.
     bool any_open = false;
-    for (auto &bank : banks_) {
-        if (bank.isOpen()) {
+    for (std::size_t b = 0; b < banks_.size(); ++b) {
+        if (banks_[b].isOpen()) {
             any_open = true;
-            if (bank.canPrecharge(now)) {
-                bank.precharge(now, timing_);
+            if (banks_[b].canPrecharge(now)) {
+                closeRow(b, now);
             }
         }
     }
@@ -190,8 +222,11 @@ bool
 Channel::rowWanted(std::uint64_t flat_bank, std::uint64_t row) const
 {
     // Exact mirror of a scan over both queues: rowWant_ counts every
-    // queued entry by (flat bank, row).
-    return rowWant_.find(rowKey(flat_bank, row)) != rowWant_.end();
+    // queued entry by (flat bank, row). Callers asking about a bank's
+    // currently open row take the incremental per-bank count instead
+    // (openRowWant_, maintained by trackEnqueue/trackDequeue and
+    // re-derived from this table on each ACT).
+    return rowWant_.contains(rowKey(flat_bank, row));
 }
 
 bool
@@ -275,6 +310,14 @@ Channel::recordCas(Tick now, Entry &e, bool is_write)
 bool
 Channel::tryColumn(Tick now, EntryQueue &queue, bool is_write)
 {
+    // No queued entry anywhere targets an open row: nothing can pass
+    // casTimingOk's open-row check, skip the scan.
+    if (rowHitWant_ == 0)
+        return false;
+    // Every row hit was timing-blocked at the last failed scan and no
+    // tracked event has moved a deadline earlier since.
+    if (now < (is_write ? casRetryWrite_ : casRetryRead_))
+        return false;
     // Entry-independent gates, hoisted out of the scan: no entry can
     // pass casTimingOk while the shortest CAS-to-CAS gap is pending or
     // the data bus is reserved past this burst's start.
@@ -282,13 +325,40 @@ Channel::tryColumn(Tick now, EntryQueue &queue, bool is_write)
         && now < lastCas_ + std::min(timing_.tCCD_L, timing_.tCCD_S)) {
         return false;
     }
-    const Tick data_start = now + (is_write ? timing_.tCWL : timing_.tCL);
-    if (data_start < busFreeAt_)
+    const Tick cas_lat = is_write ? timing_.tCWL : timing_.tCL;
+    if (now + cas_lat < busFreeAt_)
         return false;
 
+    // Earliest tick a row hit of this queue clears every CAS gate,
+    // piggy-backed on the scan for the casRetry memo.
+    Tick earliest = kInvalid;
     for (auto it = queue.begin(); it != queue.end(); ++it) {
-        if (!casTimingOk(now, *it, is_write))
+        const Entry &cand = *it;
+        // Only row hits matter; one counter load filters the rest.
+        if (openRowWant_[cand.flatBank] == 0)
             continue;
+        const Bank &bank = banks_[cand.flatBank];
+        if (bank.openRow() != cand.dec.row)
+            continue;
+        if (!casTimingOk(now, cand, is_write)) {
+            Tick at = bank.nextColumnAt(is_write);
+            if (lastCasValid_) {
+                const unsigned gap =
+                    (cand.dec.bankGroup == lastCasBankGroup_)
+                    ? timing_.tCCD_L : timing_.tCCD_S;
+                at = std::max(at, lastCas_ + gap);
+            }
+            if (!is_write && lastWriteValid_) {
+                const unsigned wtr =
+                    (cand.dec.bankGroup == lastWriteBankGroup_)
+                    ? timing_.tWTR_L : timing_.tWTR_S;
+                at = std::max(at, lastWriteDataEnd_ + wtr);
+            }
+            if (busFreeAt_ > cas_lat)
+                at = std::max(at, busFreeAt_ - cas_lat);
+            earliest = std::min(earliest, at);
+            continue;
+        }
         Entry entry = *it;
         banks_[entry.flatBank].column(now, is_write, timing_);
         recordCas(now, entry, is_write);
@@ -303,12 +373,19 @@ Channel::tryColumn(Tick now, EntryQueue &queue, bool is_write)
         queue.erase(it);
         return true;
     }
+    // Gating state only pushes deadlines later between tracked events,
+    // so "no hit in this queue can issue before `earliest`" holds until
+    // an event resets the memo. kInvalid when this queue holds no hits.
+    (is_write ? casRetryWrite_ : casRetryRead_) = earliest;
     return false;
 }
 
 bool
 Channel::tryActivate(Tick now, EntryQueue &queue)
 {
+    // No queued entry anywhere sits on a closed bank: no ACT possible.
+    if (closedBankWant_ == 0)
+        return false;
     // Entry-independent ACT gates (tRRD_S, tFAW), hoisted out of the
     // scan; actTimingOk keeps the per-bank-group tRRD_L check.
     if (lastActValid_ && now < lastAct_ + timing_.tRRD_S)
@@ -323,6 +400,16 @@ Channel::tryActivate(Tick now, EntryQueue &queue)
         if (!actTimingOk(now, entry))
             continue;
         banks_[entry.flatBank].activate(now, entry.dec.row, timing_);
+        // Closed -> open: the bank's entries leave the closed-bank
+        // class; those matching the fresh row (exact count from the
+        // (bank, row) table — one probe per ACT) become row hits.
+        const std::uint32_t *want =
+            rowWant_.findValue(rowKey(entry.flatBank, entry.dec.row));
+        const std::uint32_t hits = want != nullptr ? *want : 0;
+        openRowWant_[entry.flatBank] = hits;
+        rowHitWant_ += hits;
+        closedBankWant_ -= bankWant_[entry.flatBank];
+        resetScanMemos();
         entry.hadActivate = true;
         lastAct_ = now;
         lastActBankGroup_ = entry.dec.bankGroup;
@@ -338,6 +425,17 @@ Channel::tryActivate(Tick now, EntryQueue &queue)
 bool
 Channel::tryPrecharge(Tick now, EntryQueue &queue, bool is_write)
 {
+    // Precharge needs an entry whose bank is open at a different row —
+    // the class that is neither a row hit nor closed-bank demand. Empty
+    // class (counted across both queues): skip the scan.
+    if (readQueue_.size() + writeQueue_.size()
+        == rowHitWant_ + closedBankWant_) {
+        return false;
+    }
+    // Every candidate bank was timing-blocked at the last failed sweep
+    // and nothing has changed since: the sweep cannot succeed yet.
+    if (now < preRetryAt_)
+        return false;
     // Short queues: the entry-major scan touches fewer banks than a
     // bank-major sweep would.
     if (queue.size() <= 8) {
@@ -346,11 +444,11 @@ Channel::tryPrecharge(Tick now, EntryQueue &queue, bool is_write)
             if (!bank.isOpen() || bank.openRow() == entry.dec.row)
                 continue;
             // FR-FCFS: do not close a row other requests still want.
-            if (rowWanted(entry.flatBank, bank.openRow()))
+            if (openRowWanted(entry.flatBank))
                 continue;
             if (!bank.canPrecharge(now))
                 continue;
-            bank.precharge(now, timing_);
+            closeRow(entry.flatBank, now);
             entry.hadConflict = true;
             return true;
         }
@@ -366,29 +464,47 @@ Channel::tryPrecharge(Tick now, EntryQueue &queue, bool is_write)
     // original entry-major scan would have picked.
     prechargeOk_.assign(banks_.size(), 0);
     bool any = false;
+    // Piggy-backed on the sweep: earliest precharge deadline among
+    // demanded banks blocked only on timing, for the preRetryAt_ memo.
+    Tick earliest = kInvalid;
     for (std::size_t b = 0; b < banks_.size(); ++b) {
+        // Banks nobody queues for can never match the entry scan below;
+        // leaving them unflagged also lets the memo arm while they sit
+        // open and idle.
+        if (bankWant_[b] == 0)
+            continue;
         Bank &bank = banks_[b];
-        if (!bank.isOpen() || !bank.canPrecharge(now))
+        if (!bank.isOpen())
             continue;
         // FR-FCFS: do not close a row other requests still want.
-        if (rowWanted(b, bank.openRow()))
+        if (openRowWanted(b))
             continue;
+        if (!bank.canPrecharge(now)) {
+            earliest = std::min(earliest, bank.nextPreAt());
+            continue;
+        }
         prechargeOk_[b] = 1;
         any = true;
     }
     if (!any) {
         (void)is_write;
+        // No bank is eligible now; none can become eligible before the
+        // earliest deadline absent a tracked event (which resets the
+        // memo). kInvalid when only an event can create a candidate.
+        preRetryAt_ = earliest;
         return false;
     }
     for (auto &entry : queue) {
         if (!prechargeOk_[entry.flatBank])
             continue;
-        banks_[entry.flatBank].precharge(now, timing_);
+        closeRow(entry.flatBank, now);
         entry.hadConflict = true;
         return true;
     }
     // Also mark conflicts for entries whose bank got closed on their
-    // behalf earlier: handled by hadConflict flag persistence.
+    // behalf earlier: handled by hadConflict flag persistence. A flagged
+    // bank is eligible now (demand may sit in the other queue), so
+    // armPreRetry would not allow a skip — leave it disarmed.
     return false;
 }
 

@@ -21,9 +21,9 @@
 #include <cstdint>
 #include <deque>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/pool.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -150,6 +150,12 @@ class Channel
     bool casTimingOk(Tick now, const Entry &e, bool is_write) const;
     bool actTimingOk(Tick now, const Entry &e) const;
     bool rowWanted(std::uint64_t flat_bank, std::uint64_t row) const;
+
+    /** rowWanted for a bank's currently open row: one array read. */
+    bool openRowWanted(std::uint64_t flat_bank) const
+    {
+        return openRowWant_[flat_bank] > 0;
+    }
     void recordCas(Tick now, Entry &e, bool is_write);
     void scheduleBusBeat(Tick start, Tick end);
 
@@ -161,22 +167,69 @@ class Channel
     void trackEnqueue(const Entry &e);
     void trackDequeue(const Entry &e);
 
+    /** Precharge a bank and reclassify its queued entries as
+     * closed-bank demand. Every open->closed transition goes through
+     * here so the scheduler-gate counters stay exact. */
+    void closeRow(std::size_t flat_bank, Tick now);
+
     const DramOrg org_;
     const DramTiming timing_;
     const unsigned queueDepth_;
 
-    /** Queued requests per (flat bank, row); exact rowWanted() lookup. */
-    using RowWantMap = std::unordered_map<
-        std::uint64_t, std::uint32_t, std::hash<std::uint64_t>,
-        std::equal_to<std::uint64_t>,
-        PoolAllocator<std::pair<const std::uint64_t, std::uint32_t>>>;
+    /** Queued requests per (flat bank, row); exact rowWanted() lookup.
+     * Flat map: this is probed once per queue scan step, the hottest
+     * lookup in the DRAM model. Counts only — never iterated. */
+    using RowWantMap = FlatMap<std::uint64_t, std::uint32_t>;
 
     std::vector<Bank> banks_;
     PoolResource pool_; ///< Backs the containers below; declared first.
     EntryQueue readQueue_;
     EntryQueue writeQueue_;
     RowWantMap rowWant_;
+    /** Queued entries wanting each bank's open row (exact; see
+     * rowWanted). Zero for closed banks, recomputed on ACT. */
+    std::vector<std::uint32_t> openRowWant_;
+    /** Queued entries per flat bank, regardless of row. */
+    std::vector<std::uint32_t> bankWant_;
     std::vector<std::uint8_t> prechargeOk_; ///< tryPrecharge scratch.
+
+    // Every queued entry is, at any instant, in exactly one scheduler
+    // class: row-hit (its bank is open at its row), closed-bank (CAS
+    // needs an ACT first), or open-row-mismatch (needs a PRE). The two
+    // counters below track the first two classes across both queues;
+    // the third is total-queued minus both. Each tryColumn/tryActivate/
+    // tryPrecharge scan bails out in O(1) when its class is empty, which
+    // is the common case on row-conflict-heavy ORAM traffic.
+    std::uint64_t rowHitWant_ = 0;    ///< Entries in the row-hit class.
+    std::uint64_t closedBankWant_ = 0; ///< Entries on closed banks.
+
+    /**
+     * Earliest tick the precharge sweep could succeed, memoized when a
+     * sweep comes up empty with every candidate bank blocked purely on
+     * tRAS/tRTP/tWR timing. Valid until any event that can change the
+     * candidate set — enqueue, dequeue, ACT, precharge — which all reset
+     * it to 0 (always sweep). Lets the per-tick scheduler skip the
+     * bank-major sweep across multi-tick timing windows.
+     */
+    Tick preRetryAt_ = 0;
+
+    /**
+     * Per-queue analogue of preRetryAt_ for the CAS scan: earliest tick
+     * any current row-hit entry of that queue could clear every CAS
+     * gate (tRCD/tCCD/tWTR/data bus), memoized on a failed scan. The
+     * gating state only pushes deadlines later between tracked events,
+     * so the memo stays a valid lower bound until one resets it.
+     */
+    Tick casRetryRead_ = 0;
+    Tick casRetryWrite_ = 0;
+
+    /** Reset the scheduler-scan memos (queue or bank state changed). */
+    void resetScanMemos()
+    {
+        preRetryAt_ = 0;
+        casRetryRead_ = 0;
+        casRetryWrite_ = 0;
+    }
     std::vector<Completion> completions_;
 
     // Channel-level gating state.

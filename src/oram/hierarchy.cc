@@ -55,7 +55,7 @@ cachedLevelsFor(const OramParams &params, std::uint64_t bytes)
 
 PrefetchFilter::PrefetchFilter(std::size_t capacity)
     : capacity_(capacity), lru_(Lru::allocator_type(&pool_)),
-      map_(Index::allocator_type(&pool_))
+      map_(&pool_)
 {
     palermo_assert(capacity > 0);
 }

@@ -16,10 +16,10 @@
 #include <array>
 #include <cstdint>
 #include <list>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/pool.hh"
 #include "common/types.hh"
 #include "oram/oram_params.hh"
@@ -124,11 +124,11 @@ class PrefetchFilter
     std::size_t size() const { return map_.size(); }
 
   private:
-    /** Pooled LRU list + index so residency churn stays off the heap. */
+    /** Pooled LRU list + flat index so residency churn stays off the
+     * heap and lookups stay off pointer chains. Recency order lives in
+     * the list alone; the index is lookup-only. */
     using Lru = std::list<BlockId, PoolAllocator<BlockId>>;
-    using Index = std::unordered_map<
-        BlockId, Lru::iterator, std::hash<BlockId>, std::equal_to<BlockId>,
-        PoolAllocator<std::pair<const BlockId, Lru::iterator>>>;
+    using Index = FlatMap<BlockId, Lru::iterator>;
 
     std::size_t capacity_;
     PoolResource pool_; ///< Declared before the containers it backs.

@@ -51,8 +51,8 @@ IrOram::residentOnChip(BlockId pa) const
     for (NodeId node : path) {
         if (params.levelOf(node) >= data.cachedLevels())
             break;
-        const NodeMeta *meta = data.tree().peek(node);
-        if (meta != nullptr && meta->slotOf(pa) >= 0)
+        const auto meta = data.tree().peek(node);
+        if (meta && meta.slotOf(pa) >= 0)
             return true;
     }
     return false;

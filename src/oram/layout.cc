@@ -1,56 +1,32 @@
 /**
  * @file
  * Byte-address layout of buckets, slots, and node metadata in the
- * outsourced DRAM image.
+ * outsourced DRAM image: per-level table precomputation.
  */
 
 #include "oram/layout.hh"
 
-#include "common/log.hh"
-
 namespace palermo {
 
 TreeLayout::TreeLayout(Addr base, const OramParams &params)
-    : base_(base), params_(params)
+    : base_(base), numNodes_(params.numNodes),
+      blockBytes_(params.blockBytes), linesPerSlot_(params.linesPerSlot())
 {
-    levelSlotBase_.resize(params.levels + 1);
+    levelAddrBase_.resize(params.levels);
+    levelSlots_.resize(params.levels);
+    levelBucketBytes_.resize(params.levels);
     std::uint64_t slots = 0;
     for (unsigned level = 0; level < params.levels; ++level) {
-        levelSlotBase_[level] = slots;
-        slots += (std::uint64_t{1} << level) * params.slotsAt(level);
+        const unsigned per_bucket = params.slotsAt(level);
+        levelAddrBase_[level] = base_ + slots * params.blockBytes;
+        levelSlots_[level] = per_bucket;
+        levelBucketBytes_[level] =
+            std::uint64_t{per_bucket} * params.blockBytes;
+        slots += (std::uint64_t{1} << level) * per_bucket;
     }
-    levelSlotBase_[params.levels] = slots;
     const Addr data_bytes = slots * params.blockBytes;
     metaBase_ = base_ + data_bytes;
     footprint_ = data_bytes + params.numNodes * kBlockBytes;
-}
-
-Addr
-TreeLayout::slotAddr(NodeId node, unsigned slot) const
-{
-    const unsigned level = params_.levelOf(node);
-    palermo_assert(slot < params_.slotsAt(level));
-    const std::uint64_t index_in_level =
-        node - ((std::uint64_t{1} << level) - 1);
-    const std::uint64_t slot_index = levelSlotBase_[level]
-        + index_in_level * params_.slotsAt(level) + slot;
-    return base_ + slot_index * params_.blockBytes;
-}
-
-Addr
-TreeLayout::metaAddr(NodeId node) const
-{
-    palermo_assert(node < params_.numNodes);
-    return metaBase_ + node * kBlockBytes;
-}
-
-void
-TreeLayout::appendSlotOps(std::vector<MemOp> &ops, NodeId node,
-                          unsigned slot, bool write) const
-{
-    const Addr first = slotAddr(node, slot);
-    for (unsigned line = 0; line < params_.linesPerSlot(); ++line)
-        ops.push_back({first + line * kBlockBytes, write});
 }
 
 } // namespace palermo

@@ -7,13 +7,22 @@
  * adjacent — the property PageORAM exploits for DRAM row-buffer locality.
  * Node metadata lives in a separate contiguous region after the data
  * region (one 64B line per node).
+ *
+ * Address math is table-driven: construction precomputes, per tree
+ * level, the byte address of the level's first slot, the bucket stride,
+ * and the first node id, so the per-op slotAddr on the path walk is a
+ * shift (level-of), three table loads, and a multiply — no repeated
+ * slot-count summation or zPerLevel branching.
  */
 
 #ifndef PALERMO_ORAM_LAYOUT_HH
 #define PALERMO_ORAM_LAYOUT_HH
 
+#include <bit>
+#include <cstdint>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
 #include "oram/oram_params.hh"
 
@@ -37,14 +46,37 @@ class TreeLayout
     TreeLayout(Addr base, const OramParams &params);
 
     /** First 64B line address of a bucket slot. */
-    Addr slotAddr(NodeId node, unsigned slot) const;
+    Addr
+    slotAddr(NodeId node, unsigned slot) const
+    {
+        const unsigned level =
+            static_cast<unsigned>(std::bit_width(node + 1)) - 1;
+        palermo_assert(level < levelAddrBase_.size());
+        palermo_assert(slot < levelSlots_[level]);
+        const std::uint64_t index_in_level =
+            node - ((std::uint64_t{1} << level) - 1);
+        return levelAddrBase_[level]
+            + index_in_level * levelBucketBytes_[level]
+            + std::uint64_t{slot} * blockBytes_;
+    }
 
     /** Address of a node's metadata line. */
-    Addr metaAddr(NodeId node) const;
+    Addr
+    metaAddr(NodeId node) const
+    {
+        palermo_assert(node < numNodes_);
+        return metaBase_ + node * kBlockBytes;
+    }
 
     /** Append the (possibly multi-line) ops for one slot access. */
-    void appendSlotOps(std::vector<MemOp> &ops, NodeId node, unsigned slot,
-                       bool write) const;
+    void
+    appendSlotOps(std::vector<MemOp> &ops, NodeId node, unsigned slot,
+                  bool write) const
+    {
+        const Addr first = slotAddr(node, slot);
+        for (unsigned line = 0; line < linesPerSlot_; ++line)
+            ops.push_back({first + line * kBlockBytes, write});
+    }
 
     /** Total bytes occupied by this tree (data + metadata). */
     Addr footprintBytes() const { return footprint_; }
@@ -56,9 +88,13 @@ class TreeLayout
 
   private:
     Addr base_;
-    const OramParams params_;
-    /** Cumulative slot count before each level. */
-    std::vector<std::uint64_t> levelSlotBase_;
+    std::uint64_t numNodes_;
+    unsigned blockBytes_;
+    unsigned linesPerSlot_;
+    // Per-level path-index tables (index = tree level).
+    std::vector<Addr> levelAddrBase_;  ///< Byte addr of first slot.
+    std::vector<std::uint32_t> levelSlots_; ///< Slots per bucket.
+    std::vector<std::uint64_t> levelBucketBytes_; ///< Bucket stride.
     Addr metaBase_;
     Addr footprint_;
 };

@@ -51,7 +51,7 @@ void
 RingEngine::resetBucket(NodeId node, std::vector<MemOp> &read_ops,
                         std::vector<MemOp> &write_ops)
 {
-    NodeMeta &meta = tree_.node(node);
+    auto meta = tree_.node(node);
     const unsigned level = params_.levelOf(node);
     const unsigned capacity = params_.capacityAt(level);
 
@@ -126,7 +126,7 @@ RingEngine::accessInto(BlockId block, Leaf leaf, Leaf new_leaf,
         // Palermo Algorithm 2: reset at S-1 so this access's touch can
         // never exhaust the dummies, and bypass the node in ReadPath.
         for (NodeId node : path) {
-            NodeMeta &meta = tree_.node(node);
+            auto meta = tree_.node(node);
             if (meta.accessed() >= params_.s - 1) {
                 resetBucket(node, erReadScratch_, erWriteScratch_);
                 bypassScratch_.push_back(node);
@@ -143,7 +143,7 @@ RingEngine::accessInto(BlockId block, Leaf leaf, Leaf new_leaf,
             != bypassScratch_.end()) {
             continue;
         }
-        NodeMeta &meta = tree_.node(node);
+        auto meta = tree_.node(node);
         const int real_slot = meta.slotOf(block);
         if (real_slot >= 0) {
             const BlockContent content =
@@ -185,7 +185,7 @@ RingEngine::accessInto(BlockId block, Leaf leaf, Leaf new_leaf,
     if (mode_ == ReshuffleMode::Post) {
         // Baseline Algorithm 1: EarlyReshuffle(leaf) after ReadPath.
         for (NodeId node : path) {
-            NodeMeta &meta = tree_.node(node);
+            auto meta = tree_.node(node);
             if (meta.accessed() >= params_.s) {
                 resetBucket(node, erReadScratch_, erWriteScratch_);
                 ++stats_.earlyReshuffles;
@@ -206,7 +206,7 @@ RingEngine::accessInto(BlockId block, Leaf leaf, Leaf new_leaf,
         // Fetch all remaining valid blocks on the eviction path into the
         // stash (Z-padded reads per node)...
         for (NodeId node : evict_path) {
-            NodeMeta &meta = tree_.node(node);
+            auto meta = tree_.node(node);
             const unsigned capacity =
                 params_.capacityAt(params_.levelOf(node));
             for (unsigned i = 0; i < capacity; ++i)
@@ -293,8 +293,8 @@ RingEngine::satisfiesInvariant(BlockId block, Leaf leaf) const
     // Walk the path from the mapped leaf; the block must be in one of
     // those buckets. Untouched buckets cannot contain it.
     for (NodeId node : params_.pathNodes(leaf)) {
-        const NodeMeta *meta = tree_.peek(node);
-        if (meta != nullptr && meta->slotOf(block) >= 0)
+        const auto meta = tree_.peek(node);
+        if (meta && meta.slotOf(block) >= 0)
             return true;
     }
     return false;

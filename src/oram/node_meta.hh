@@ -1,22 +1,18 @@
 /**
  * @file
- * Per-bucket functional state: slot contents, valid bits, and the access
- * counter that drives RingORAM's EarlyReshuffle.
+ * The block-content record exchanged between buckets and the stash.
  *
- * RingORAM semantics: a bucket holds `capacity` real-capable slots plus
- * `S` dummies, randomly permuted. Every path read touches exactly one
- * slot (the real block if present, else an untouched dummy) and marks it
- * used; after S touches the bucket must be reset before further reads.
+ * Per-bucket functional state (slot valid bits, the access counter that
+ * drives RingORAM's EarlyReshuffle) lives in TreeStore's
+ * structure-of-arrays slot storage; oram/tree_store.hh documents the
+ * slot-state encoding and exposes the bucket API.
  */
 
 #ifndef PALERMO_ORAM_NODE_META_HH
 #define PALERMO_ORAM_NODE_META_HH
 
 #include <cstdint>
-#include <utility>
-#include <vector>
 
-#include "common/rng.hh"
 #include "common/types.hh"
 
 namespace palermo {
@@ -34,80 +30,6 @@ struct BlockContent
      * position-map consultation.
      */
     Leaf leaf = 0;
-};
-
-/** Functional state of one ORAM tree bucket. */
-class NodeMeta
-{
-  public:
-    /**
-     * @param capacity Real-capable slot count (Z at this level).
-     * @param slots Total slot count (capacity + S).
-     */
-    NodeMeta(unsigned capacity, unsigned slots);
-
-    unsigned capacity() const { return capacity_; }
-    unsigned slots() const { return static_cast<unsigned>(slots_.size()); }
-
-    /** Touches since the last reset. */
-    unsigned accessed() const { return accessed_; }
-
-    /** Count of valid (un-consumed) real blocks in the bucket. */
-    unsigned validRealCount() const;
-
-    /** Slot index of an unread real block, or -1 if absent. */
-    int slotOf(BlockId block) const;
-
-    /**
-     * Consume the real block at `slot` (path read of the target).
-     * Marks the slot used, bumps the access counter.
-     * @return The block content removed from the bucket.
-     */
-    BlockContent takeReal(unsigned slot);
-
-    /**
-     * Touch an unused dummy slot chosen uniformly at random.
-     * @return Chosen slot index, or -1 if no dummy remains (a protocol
-     *         violation the caller must treat as fatal).
-     */
-    int touchDummy(Rng &rng);
-
-    /**
-     * Remove and return all remaining valid real blocks (ResetBucket's
-     * fetch step / PathORAM's whole-bucket read).
-     */
-    std::vector<BlockContent> takeAllValid();
-
-    /** takeAllValid into a caller-owned buffer (cleared first). */
-    void takeAllValidInto(std::vector<BlockContent> *out);
-
-    /**
-     * Rebuild the bucket with the given real blocks (<= capacity); all
-     * other slots become fresh dummies and counters clear.
-     */
-    void resetWith(const std::vector<BlockContent> &blocks);
-
-    /**
-     * Bulk-load: place one block into a free dummy slot if the bucket
-     * still has real capacity. Used only for initial ORAM construction
-     * (the protocol itself always rebuilds whole buckets).
-     * @return true if placed.
-     */
-    bool tryPlace(const BlockContent &content);
-
-    /** True if a path read of this bucket would find no usable dummy. */
-    bool needsReset() const;
-
-  private:
-    struct Slot
-    {
-        BlockContent content;  ///< block == kInvalid for dummies.
-        bool used = false;
-    };
-
-    unsigned capacity_;
-    std::vector<Slot> slots_;
-    unsigned accessed_ = 0;
 };
 
 } // namespace palermo

@@ -118,7 +118,7 @@ PathEngine::runInto(BlockId block, Leaf leaf, Leaf new_leaf, bool dummy,
     // RP: read every slot of every bucket in the access set into the
     // stash.
     for (NodeId node : nodes) {
-        NodeMeta &meta = tree_.node(node);
+        auto meta = tree_.node(node);
         const unsigned capacity =
             params_.capacityAt(params_.levelOf(node));
         for (unsigned i = 0; i < capacity; ++i)
@@ -169,13 +169,14 @@ PathEngine::runInto(BlockId block, Leaf leaf, Leaf new_leaf, bool dummy,
         const unsigned capacity = params_.capacityAt(level);
         refillScratch_.clear();
         refillScratch_.reserve(capacity);
-        for (const auto &[b, entry] : stash_.entries()) {
+        for (const StashItem &item : stash_.items()) {
             if (refillScratch_.size() >= capacity)
                 break;
-            if (b == inFlight_)
+            if (item.block == inFlight_)
                 continue;
-            if (eligible(node, entry.leaf))
-                refillScratch_.push_back({b, entry.payload, entry.leaf});
+            if (eligible(node, item.entry.leaf))
+                refillScratch_.push_back({item.block, item.entry.payload,
+                                          item.entry.leaf});
         }
         for (const BlockContent &content : refillScratch_)
             stash_.take(content.block);
@@ -281,8 +282,8 @@ PathEngine::satisfiesInvariant(BlockId block, Leaf leaf) const
     if (stash_.contains(block))
         return true;
     for (NodeId node : accessSet(leaf)) {
-        const NodeMeta *meta = tree_.peek(node);
-        if (meta != nullptr && meta->slotOf(block) >= 0)
+        const auto meta = tree_.peek(node);
+        if (meta && meta.slotOf(block) >= 0)
             return true;
     }
     return false;

@@ -12,28 +12,12 @@ namespace palermo {
 PosMap::PosMap(std::uint64_t num_blocks, std::uint64_t num_leaves,
                std::uint64_t prf_key, unsigned default_group)
     : numBlocks_(num_blocks), numLeaves_(num_leaves), prf_(prf_key),
-      defaultGroup_(default_group), entries_(EntryMap::allocator_type(&pool_))
+      defaultGroup_(default_group), entries_(&pool_)
 {
     palermo_assert(num_blocks > 0 && num_leaves > 0);
     palermo_assert(default_group >= 1);
-}
-
-Leaf
-PosMap::get(BlockId block) const
-{
-    palermo_assert(block < numBlocks_, "posmap block out of range");
-    const auto it = entries_.find(block);
-    if (it != entries_.end())
-        return it->second;
-    return prf_.evalMod(block / defaultGroup_, numLeaves_);
-}
-
-void
-PosMap::set(BlockId block, Leaf leaf)
-{
-    palermo_assert(block < numBlocks_);
-    palermo_assert(leaf < numLeaves_);
-    entries_[block] = leaf;
+    if (num_blocks <= kDenseLimit)
+        dense_.assign(num_blocks, kInvalid);
 }
 
 } // namespace palermo

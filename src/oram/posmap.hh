@@ -8,13 +8,21 @@
  * working set. The hierarchical designs layer three of these (the two
  * lower ones are content-stored inside PosMap ORAM blocks; this class
  * tracks the authoritative mapping the simulator validates against).
+ *
+ * Storage is hybrid: trees up to kDenseLimit blocks use a direct leaf
+ * array (one load per get — the position map is consulted on every
+ * access of every tree in the hierarchy), with kInvalid marking
+ * never-touched entries; larger trees fall back to a flat
+ * open-addressing map so host memory stays proportional to the touched
+ * working set.
  */
 
 #ifndef PALERMO_ORAM_POSMAP_HH
 #define PALERMO_ORAM_POSMAP_HH
 
-#include <unordered_map>
+#include <vector>
 
+#include "common/flat_map.hh"
 #include "common/pool.hh"
 #include "common/types.hh"
 #include "crypto/prf.hh"
@@ -38,29 +46,58 @@ class PosMap
            std::uint64_t prf_key, unsigned default_group = 1);
 
     /** Current leaf of a block. */
-    Leaf get(BlockId block) const;
+    Leaf
+    get(BlockId block) const
+    {
+        palermo_assert(block < numBlocks_, "posmap block out of range");
+        if (!dense_.empty()) {
+            const Leaf leaf = dense_[block];
+            if (leaf != kInvalid)
+                return leaf;
+        } else if (const Leaf *leaf = entries_.findValue(block)) {
+            return *leaf;
+        }
+        return prf_.evalMod(block / defaultGroup_, numLeaves_);
+    }
 
     /** Remap a block to a new leaf. */
-    void set(BlockId block, Leaf leaf);
+    void
+    set(BlockId block, Leaf leaf)
+    {
+        palermo_assert(block < numBlocks_);
+        palermo_assert(leaf < numLeaves_);
+        if (!dense_.empty()) {
+            denseTouched_ += dense_[block] == kInvalid;
+            dense_[block] = leaf;
+        } else {
+            entries_.insert_or_assign(block, leaf);
+        }
+    }
 
     std::uint64_t numBlocks() const { return numBlocks_; }
     std::uint64_t numLeaves() const { return numLeaves_; }
 
     /** Number of explicitly stored (touched) entries. */
-    std::size_t touchedCount() const { return entries_.size(); }
+    std::size_t
+    touchedCount() const
+    {
+        return dense_.empty() ? entries_.size() : denseTouched_;
+    }
 
   private:
-    /** Pooled map so first-touch inserts amortize into the arena. */
-    using EntryMap = std::unordered_map<
-        BlockId, Leaf, std::hash<BlockId>, std::equal_to<BlockId>,
-        PoolAllocator<std::pair<const BlockId, Leaf>>>;
+    /** Largest tree stored densely: 4M blocks = a 32 MB leaf array. */
+    static constexpr std::uint64_t kDenseLimit = std::uint64_t{1} << 22;
 
     std::uint64_t numBlocks_;
     std::uint64_t numLeaves_;
     Prf prf_;
     unsigned defaultGroup_;
     PoolResource pool_; ///< Declared before entries_ (destruction order).
-    EntryMap entries_;
+    /** Direct storage (small trees); kInvalid = untouched. */
+    std::vector<Leaf> dense_;
+    std::size_t denseTouched_ = 0;
+    /** Flat-map fallback for beyond-kDenseLimit trees. */
+    FlatMap<BlockId, Leaf> entries_;
 };
 
 } // namespace palermo

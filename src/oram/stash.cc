@@ -1,7 +1,7 @@
 /**
  * @file
  * Stash insert/evict/lookup with capacity accounting and watermark
- * tracking.
+ * tracking over the dense-vector + flat-index layout.
  */
 
 #include "oram/stash.hh"
@@ -11,16 +11,17 @@
 
 namespace palermo {
 
-Stash::Stash(std::size_t capacity)
-    : capacity_(capacity), entries_(Map::allocator_type(&pool_))
+Stash::Stash(std::size_t capacity) : capacity_(capacity), index_(&pool_)
 {
     palermo_assert(capacity > 0);
+    items_.reserve(capacity);
+    index_.reserve(capacity);
 }
 
 void
 Stash::noteOccupancy()
 {
-    const std::size_t occ = entries_.size();
+    const std::size_t occ = items_.size();
     if (occ > highWatermark_)
         highWatermark_ = occ;
     if (occ > windowWatermark_)
@@ -32,24 +33,29 @@ Stash::noteOccupancy()
 StashEntry &
 Stash::entry(BlockId block)
 {
-    auto it = entries_.find(block);
-    palermo_assert(it != entries_.end(), "block missing from stash");
-    return it->second;
+    const std::uint32_t *slot = index_.findValue(block);
+    palermo_assert(slot != nullptr, "block missing from stash");
+    return items_[*slot].entry;
 }
 
 const StashEntry &
 Stash::entry(BlockId block) const
 {
-    auto it = entries_.find(block);
-    palermo_assert(it != entries_.end(), "block missing from stash");
-    return it->second;
+    const std::uint32_t *slot = index_.findValue(block);
+    palermo_assert(slot != nullptr, "block missing from stash");
+    return items_[*slot].entry;
 }
 
 void
 Stash::put(BlockId block, Leaf leaf, std::uint64_t payload)
 {
     palermo_assert(block != kInvalid);
-    entries_[block] = StashEntry{leaf, payload};
+    auto [it, inserted] =
+        index_.emplace(block, static_cast<std::uint32_t>(items_.size()));
+    if (inserted)
+        items_.push_back(StashItem{block, StashEntry{leaf, payload}});
+    else
+        items_[it->second].entry = StashEntry{leaf, payload};
     noteOccupancy();
 }
 
@@ -62,10 +68,17 @@ Stash::remap(BlockId block, Leaf leaf)
 StashEntry
 Stash::take(BlockId block)
 {
-    auto it = entries_.find(block);
-    palermo_assert(it != entries_.end(), "take of absent block");
-    StashEntry out = it->second;
-    entries_.erase(it);
+    const std::uint32_t *slot = index_.findValue(block);
+    palermo_assert(slot != nullptr, "take of absent block");
+    const std::uint32_t idx = *slot;
+    StashEntry out = items_[idx].entry;
+    index_.erase(block);
+    const std::uint32_t last = static_cast<std::uint32_t>(items_.size()) - 1;
+    if (idx != last) {
+        items_[idx] = items_[last];
+        index_.at(items_[idx].block) = idx;
+    }
+    items_.pop_back();
     return out;
 }
 
@@ -84,13 +97,13 @@ Stash::eligibleForInto(NodeId node, const OramParams &params,
                        std::vector<BlockId> *out) const
 {
     out->clear();
-    for (const auto &[block, entry] : entries_) {
+    for (const StashItem &item : items_) {
         if (out->size() >= max_count)
             break;
-        if (block == exclude)
+        if (item.block == exclude)
             continue;
-        if (params.onPath(node, entry.leaf))
-            out->push_back(block);
+        if (params.onPath(node, item.entry.leaf))
+            out->push_back(item.block);
     }
 }
 

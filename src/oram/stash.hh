@@ -8,18 +8,26 @@
  * tracks occupancy watermarks so experiments (Fig. 12) can demonstrate
  * boundedness, and exposes an overflow signal PrORAM uses to trigger
  * background (dummy) evictions.
+ *
+ * Layout: entries live in a dense vector scanned in insertion order by
+ * the eviction paths, with a flat open-addressing index on the side for
+ * O(1) lookup. Iteration order is part of the stash contract — see
+ * items() — because eviction candidate selection is simulator-visible:
+ * the order determines which eligible blocks fill a bucket first, hence
+ * which DRAM slots are written, hence timing. Insertion order with
+ * swap-last-on-erase is a pure function of the operation sequence, so
+ * runs are reproducible across standard libraries and allocators.
  */
 
 #ifndef PALERMO_ORAM_STASH_HH
 #define PALERMO_ORAM_STASH_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/pool.hh"
 #include "common/types.hh"
-#include "oram/node_meta.hh"
 
 namespace palermo {
 
@@ -32,25 +40,21 @@ struct StashEntry
     std::uint64_t payload = 0;
 };
 
+/** A stash slot as seen by dense iteration. */
+struct StashItem
+{
+    BlockId block = kInvalid;
+    StashEntry entry;
+};
+
 /** Bounded on-chip stash with watermark accounting. */
 class Stash
 {
   public:
-    /**
-     * Hash-map type backed by the stash's own pool: the put/take churn
-     * of steady-state operation recycles node storage instead of
-     * round-tripping through the global heap. Iteration order depends
-     * only on hashes and insertion sequence, not on the allocator, so
-     * pooling does not perturb deterministic runs.
-     */
-    using Map = std::unordered_map<
-        BlockId, StashEntry, std::hash<BlockId>, std::equal_to<BlockId>,
-        PoolAllocator<std::pair<const BlockId, StashEntry>>>;
-
     explicit Stash(std::size_t capacity = 256);
 
     std::size_t capacity() const { return capacity_; }
-    std::size_t occupancy() const { return entries_.size(); }
+    std::size_t occupancy() const { return items_.size(); }
 
     /** Highest occupancy ever observed. */
     std::size_t highWatermark() const { return highWatermark_; }
@@ -62,7 +66,7 @@ class Stash
     /** True if occupancy ever exceeded capacity. */
     bool overflowed() const { return overflowed_; }
 
-    bool contains(BlockId block) const { return entries_.count(block) > 0; }
+    bool contains(BlockId block) const { return index_.contains(block); }
 
     /** Lookup; panics if absent. */
     StashEntry &entry(BlockId block);
@@ -79,8 +83,8 @@ class Stash
 
     /**
      * Collect up to `max_count` stashed blocks eligible for the given
-     * node (their leaf path passes through it), preferring arbitrary
-     * order; does not remove them.
+     * node (their leaf path passes through it), in items() order; does
+     * not remove them.
      * @param exclude Block to skip (the in-flight access target, which
      *        must stay in the stash until its request retires).
      */
@@ -93,15 +97,22 @@ class Stash
                          std::size_t max_count, BlockId exclude,
                          std::vector<BlockId> *out) const;
 
-    /** Iterate all entries (tests / invariant checks). */
-    const Map &entries() const { return entries_; }
+    /**
+     * Dense entries, oldest-first. Order contract: put() of a new
+     * block appends; put()/remap() of a resident block keeps its
+     * position; take() moves the last item into the vacated slot.
+     * Eviction scans iterate this order, so it is load-bearing for
+     * byte-determinism — do not reorder.
+     */
+    const std::vector<StashItem> &items() const { return items_; }
 
   private:
     void noteOccupancy();
 
     std::size_t capacity_;
-    PoolResource pool_; ///< Declared before entries_ (destruction order).
-    Map entries_;
+    PoolResource pool_; ///< Declared before index_ (destruction order).
+    std::vector<StashItem> items_;
+    FlatMap<BlockId, std::uint32_t> index_; ///< block -> items_ slot.
     std::size_t highWatermark_ = 0;
     std::size_t windowWatermark_ = 0;
     bool overflowed_ = false;

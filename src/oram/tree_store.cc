@@ -6,42 +6,53 @@
 
 #include "oram/tree_store.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace palermo {
 
 TreeStore::TreeStore(const OramParams &params)
-    : params_(params), nodes_(NodeMap::allocator_type(&pool_))
+    : params_(params), tail_(&pool_)
 {
     params_.check();
-}
-
-NodeMeta &
-TreeStore::node(NodeId id)
-{
-    palermo_assert(id < params_.numNodes, "node id out of tree");
-    auto it = nodes_.find(id);
-    if (it == nodes_.end()) {
-        const unsigned level = params_.levelOf(id);
-        it = nodes_.emplace(id, NodeMeta(params_.capacityAt(level),
-                                         params_.slotsAt(level))).first;
+    directLimit_ = std::min(params_.numNodes, kDirectNodes);
+    direct_.assign(directLimit_, kNoBucket);
+    levelCapacity_.resize(params_.levels);
+    levelSlots_.resize(params_.levels);
+    for (unsigned level = 0; level < params_.levels; ++level) {
+        levelCapacity_[level] = params_.capacityAt(level);
+        levelSlots_[level] = params_.slotsAt(level);
     }
-    return it->second;
 }
 
-const NodeMeta *
-TreeStore::peek(NodeId id) const
+std::uint32_t
+TreeStore::materialize(NodeId id)
 {
-    const auto it = nodes_.find(id);
-    return it == nodes_.end() ? nullptr : &it->second;
+    const unsigned level = params_.levelOf(id);
+    const std::uint32_t index = static_cast<std::uint32_t>(level_.size());
+    const unsigned slots = levelSlots_[level];
+
+    level_.push_back(static_cast<std::uint8_t>(level));
+    accessed_.push_back(0);
+    slotBase_.push_back(slotBlock_.size());
+    slotBlock_.insert(slotBlock_.end(), slots, kDummySlot);
+    slotPayload_.insert(slotPayload_.end(), slots, 0);
+    slotLeaf_.insert(slotLeaf_.end(), slots, 0);
+
+    if (id < directLimit_)
+        direct_[id] = index;
+    else
+        tail_.emplace(id, index);
+    return index;
 }
 
 std::uint64_t
 TreeStore::totalValidBlocks() const
 {
     std::uint64_t total = 0;
-    for (const auto &[id, meta] : nodes_)
-        total += meta.validRealCount();
+    for (const std::uint64_t block : slotBlock_)
+        total += block < kUsedSlot;
     return total;
 }
 

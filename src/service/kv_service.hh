@@ -30,6 +30,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/pool.hh"
 #include "service/request_queue.hh"
 #include "service/service_metrics.hh"
 #include "service/tenant.hh"
@@ -130,7 +131,10 @@ class ObliviousKvService
     TenantDirectory tenants_;
     SimSession session_;
     BoundedRequestQueue queue_;
-    std::deque<InFlight> inflight_;
+    PoolResource pool_; ///< Backs inflight_; declared first.
+    /** Completion-attribution FIFO, pool-backed for the same reason as
+     * the admission queue: steady-state serving stays off the heap. */
+    std::deque<InFlight, PoolAllocator<InFlight>> inflight_;
 
     ServiceStats global_;
     std::vector<ServiceStats> perTenant_;

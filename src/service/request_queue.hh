@@ -25,6 +25,7 @@
 #include <deque>
 #include <string>
 
+#include "common/pool.hh"
 #include "common/types.hh"
 
 namespace palermo {
@@ -112,7 +113,10 @@ class BoundedRequestQueue
     }
 
   private:
-    std::deque<ServiceRequest> queue_;
+    PoolResource pool_; ///< Backs queue_; declared first.
+    /** Pool-backed FIFO: deque chunks recycle across the run instead of
+     * hitting the heap on every admission wave. */
+    std::deque<ServiceRequest, PoolAllocator<ServiceRequest>> queue_;
     std::size_t capacity_;
     QueuePolicy policy_;
     std::uint64_t nextSequence_ = 0;

@@ -20,6 +20,8 @@
 #include <cstdio>
 
 #include "common/alloc_count.hh"
+#include "common/rng.hh"
+#include "service/kv_service.hh"
 #include "sim/experiment.hh"
 #include "sim/protocol_registry.hh"
 #include "sim/system_config.hh"
@@ -85,6 +87,82 @@ TEST(AllocBudget, ParallelSteppingStaysPooled)
     // pointer plus caller-owned context — zero heap traffic per cycle.
     EXPECT_LE(
         steadyStateAllocsPerRequest(ProtocolKind::Palermo, 2), 2.0);
+}
+
+/**
+ * Same discipline one layer up: a closed-loop client fleet against the
+ * full serving stack (admission queue, tenant directory, in-flight
+ * attribution FIFO, session pump). With the service deques pool-backed,
+ * steady-state serving must not allocate per request either.
+ */
+double
+servedClosedLoopAllocsPerRequest()
+{
+    constexpr unsigned kConcurrency = 8;
+
+    ServiceConfig config;
+    config.protocol = ProtocolKind::Palermo;
+    config.system.protocol.numBlocks = 1ull << 11;
+    config.system.totalRequests = 6000; // Warmup 3000 > numBlocks.
+    config.system.warmupFraction = 0.5;
+    config.system.seed = 1;
+    config.tenants = 2;
+    config.queueCapacity = kConcurrency;
+    config.warmupCompletions = 3000;
+
+    ObliviousKvService service(config);
+    Rng rng(7);
+    const std::uint64_t slice = service.tenants().sliceSize();
+    const std::uint64_t target = config.system.totalRequests;
+    std::uint64_t issued = 0;
+    const auto issue = [&](Tick arrival) {
+        const auto tenant =
+            static_cast<unsigned>(rng.range(config.tenants));
+        const Admission admission =
+            service.offer(tenant, rng.range(slice), (issued & 7) == 0,
+                          issued, arrival);
+        EXPECT_EQ(admission, Admission::Accepted);
+        ++issued;
+    };
+
+    // Think time zero: keep kConcurrency requests in the system.
+    while (issued < kConcurrency)
+        issue(0);
+    while (service.completedTotal() < config.warmupCompletions) {
+        const std::uint64_t done = service.step(1);
+        for (std::uint64_t i = 0; i < done && issued < target; ++i)
+            issue(service.now());
+    }
+
+    const unsigned long long before = heapAllocationCount();
+    const std::uint64_t served_before = service.completedTotal();
+    while (service.completedTotal() < target) {
+        const std::uint64_t done = service.step(1);
+        for (std::uint64_t i = 0; i < done && issued < target; ++i)
+            issue(service.now());
+    }
+    service.drainAll();
+    const unsigned long long after = heapAllocationCount();
+    const std::uint64_t requests = service.completedTotal() - served_before;
+
+    EXPECT_GT(requests, 0u);
+    const double per_request = requests == 0
+        ? 0.0
+        : static_cast<double>(after - before)
+            / static_cast<double>(requests);
+    std::printf("served       steady-state: %llu allocs / %llu requests "
+                "= %.3f per request\n",
+                static_cast<unsigned long long>(after - before),
+                static_cast<unsigned long long>(requests), per_request);
+    return per_request;
+}
+
+TEST(AllocBudget, ServedClosedLoopStaysPooled)
+{
+    // The serving layer must add zero steady-state heap traffic on top
+    // of the pooled simulator: admission and in-flight FIFOs recycle
+    // their deque chunks through session-lifetime pools.
+    EXPECT_LE(servedClosedLoopAllocsPerRequest(), 2.0);
 }
 
 TEST(AllocBudget, CounterCountsThisBinary)

@@ -1,25 +1,45 @@
-/** @file Unit tests for bucket (NodeMeta) functional state. */
+/**
+ * @file
+ * Unit tests for bucket functional state (TreeStore's SoA slot arrays
+ * behind the Bucket view, formerly the NodeMeta class).
+ */
+
+#include <set>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.hh"
-#include "oram/node_meta.hh"
+#include "oram/tree_store.hh"
 
 namespace palermo {
 namespace {
 
-TEST(NodeMeta, FreshBucketAllDummies)
+/**
+ * A tree store whose root bucket has the requested shape; RingORAM
+ * geometry with Z = capacity and S = slots - capacity.
+ */
+TreeStore
+makeStore(unsigned capacity, unsigned slots)
 {
-    NodeMeta meta(4, 9);
+    return TreeStore(OramParams::ring(8, capacity, slots - capacity, 2));
+}
+
+TEST(TreeStoreBucket, FreshBucketAllDummies)
+{
+    TreeStore store = makeStore(4, 9);
+    auto meta = store.node(0);
+    EXPECT_EQ(meta.capacity(), 4u);
+    EXPECT_EQ(meta.slots(), 9u);
     EXPECT_EQ(meta.validRealCount(), 0u);
     EXPECT_EQ(meta.accessed(), 0u);
     EXPECT_EQ(meta.slotOf(7), -1);
     EXPECT_FALSE(meta.needsReset());
 }
 
-TEST(NodeMeta, ResetWithPlacesBlocks)
+TEST(TreeStoreBucket, ResetWithPlacesBlocks)
 {
-    NodeMeta meta(4, 9);
+    TreeStore store = makeStore(4, 9);
+    auto meta = store.node(0);
     meta.resetWith({{10, 100, 0}, {11, 101, 1}});
     EXPECT_EQ(meta.validRealCount(), 2u);
     EXPECT_GE(meta.slotOf(10), 0);
@@ -27,9 +47,10 @@ TEST(NodeMeta, ResetWithPlacesBlocks)
     EXPECT_EQ(meta.slotOf(12), -1);
 }
 
-TEST(NodeMeta, TakeRealRemovesAndCounts)
+TEST(TreeStoreBucket, TakeRealRemovesAndCounts)
 {
-    NodeMeta meta(4, 9);
+    TreeStore store = makeStore(4, 9);
+    auto meta = store.node(0);
     meta.resetWith({{10, 100, 3}});
     const int slot = meta.slotOf(10);
     ASSERT_GE(slot, 0);
@@ -42,11 +63,12 @@ TEST(NodeMeta, TakeRealRemovesAndCounts)
     EXPECT_EQ(meta.validRealCount(), 0u);
 }
 
-TEST(NodeMeta, TouchDummyConsumesSlots)
+TEST(TreeStoreBucket, TouchDummyConsumesSlots)
 {
     // An empty bucket's slots are all dummies (7 here); each touch
     // consumes one permanently until a reset.
-    NodeMeta meta(2, 7);
+    TreeStore store = makeStore(2, 7);
+    auto meta = store.node(0);
     Rng rng(1);
     for (int i = 0; i < 7; ++i)
         EXPECT_GE(meta.touchDummy(rng), 0);
@@ -55,10 +77,11 @@ TEST(NodeMeta, TouchDummyConsumesSlots)
     EXPECT_TRUE(meta.needsReset());
 }
 
-TEST(NodeMeta, FullBucketHasExactlySDummies)
+TEST(TreeStoreBucket, FullBucketHasExactlySDummies)
 {
     // With Z real blocks resident, exactly S = slots - Z dummies remain.
-    NodeMeta meta(2, 7);
+    TreeStore store = makeStore(2, 7);
+    auto meta = store.node(0);
     meta.resetWith({{1, 0, 0}, {2, 0, 0}});
     Rng rng(1);
     for (int i = 0; i < 5; ++i)
@@ -69,9 +92,10 @@ TEST(NodeMeta, FullBucketHasExactlySDummies)
     EXPECT_GE(meta.slotOf(2), 0);
 }
 
-TEST(NodeMeta, TouchDummySkipsRealBlocks)
+TEST(TreeStoreBucket, TouchDummySkipsRealBlocks)
 {
-    NodeMeta meta(2, 3); // 2 real-capable + 1 extra slot.
+    TreeStore store = makeStore(2, 3); // 2 real-capable + 1 extra slot.
+    auto meta = store.node(0);
     meta.resetWith({{5, 0, 0}, {6, 0, 0}});
     Rng rng(2);
     // Only one dummy slot exists; it must be chosen, not a real block.
@@ -81,9 +105,10 @@ TEST(NodeMeta, TouchDummySkipsRealBlocks)
     EXPECT_EQ(meta.slotOf(6) >= 0, true);
 }
 
-TEST(NodeMeta, TouchedDummiesNeverRepeat)
+TEST(TreeStoreBucket, TouchedDummiesNeverRepeat)
 {
-    NodeMeta meta(4, 20);
+    TreeStore store = makeStore(4, 20);
+    auto meta = store.node(0);
     Rng rng(3);
     std::set<int> seen;
     for (int i = 0; i < 16; ++i) {
@@ -93,9 +118,10 @@ TEST(NodeMeta, TouchedDummiesNeverRepeat)
     }
 }
 
-TEST(NodeMeta, TakeAllValidDrains)
+TEST(TreeStoreBucket, TakeAllValidDrains)
 {
-    NodeMeta meta(4, 9);
+    TreeStore store = makeStore(4, 9);
+    auto meta = store.node(0);
     meta.resetWith({{1, 10, 0}, {2, 20, 1}, {3, 30, 2}});
     auto blocks = meta.takeAllValid();
     EXPECT_EQ(blocks.size(), 3u);
@@ -104,9 +130,10 @@ TEST(NodeMeta, TakeAllValidDrains)
     EXPECT_TRUE(meta.takeAllValid().empty());
 }
 
-TEST(NodeMeta, ResetClearsAccessCounter)
+TEST(TreeStoreBucket, ResetClearsAccessCounter)
 {
-    NodeMeta meta(2, 5);
+    TreeStore store = makeStore(2, 5);
+    auto meta = store.node(0);
     Rng rng(4);
     meta.touchDummy(rng);
     meta.touchDummy(rng);
@@ -116,14 +143,29 @@ TEST(NodeMeta, ResetClearsAccessCounter)
     EXPECT_FALSE(meta.needsReset());
 }
 
-TEST(NodeMeta, ReadAfterResetFindsNewBlocks)
+TEST(TreeStoreBucket, ReadAfterResetFindsNewBlocks)
 {
-    NodeMeta meta(2, 5);
+    TreeStore store = makeStore(2, 5);
+    auto meta = store.node(0);
     meta.resetWith({{8, 80, 0}});
     ASSERT_GE(meta.slotOf(8), 0);
     meta.resetWith({{9, 90, 1}});
     EXPECT_EQ(meta.slotOf(8), -1);
     EXPECT_GE(meta.slotOf(9), 0);
+}
+
+TEST(TreeStoreBucket, ViewsShareState)
+{
+    // Two Bucket views of the same node observe each other's writes —
+    // they are references into the store's arrays, not copies.
+    TreeStore store = makeStore(4, 9);
+    auto a = store.node(0);
+    auto b = store.node(0);
+    a.resetWith({{10, 100, 0}});
+    EXPECT_GE(b.slotOf(10), 0);
+    b.takeReal(b.slotOf(10));
+    EXPECT_EQ(a.slotOf(10), -1);
+    EXPECT_EQ(a.accessed(), 1u);
 }
 
 } // namespace

@@ -31,10 +31,10 @@ TEST(TreeStore, NodeCapacityFollowsLevel)
 TEST(TreeStore, PeekDoesNotMaterialize)
 {
     TreeStore store(OramParams::ring(1 << 8, 4, 5, 3));
-    EXPECT_EQ(store.peek(3), nullptr);
+    EXPECT_FALSE(store.peek(3));
     EXPECT_EQ(store.touchedCount(), 0u);
     store.node(3);
-    EXPECT_NE(store.peek(3), nullptr);
+    EXPECT_TRUE(store.peek(3));
 }
 
 TEST(TreeStore, StatePersists)

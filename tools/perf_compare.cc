@@ -49,6 +49,7 @@ struct CompareOptions
 {
     std::string baselinePath;
     std::string freshPath;
+    std::string markdownPath; ///< Per-point speedup table, or empty.
     double tolerance = 0.50; ///< Relative, on host-speed keys.
     double allocSlack = 2.0; ///< Absolute allocs/request headroom.
 };
@@ -58,13 +59,15 @@ usage()
 {
     std::fputs(
         "usage: perf_compare --baseline FILE --fresh FILE "
-        "[--tolerance F] [--alloc-slack N]\n"
+        "[--tolerance F] [--alloc-slack N] [--markdown FILE]\n"
         "  --baseline FILE   committed bench_sim_speed document\n"
         "  --fresh FILE      document from the run under test\n"
         "  --tolerance F     relative slack on host-speed keys "
         "(default 0.50)\n"
         "  --alloc-slack N   absolute allocs/request headroom "
-        "(default 2)\n",
+        "(default 2)\n"
+        "  --markdown FILE   also render the comparison as a GitHub\n"
+        "                    markdown table (for $GITHUB_STEP_SUMMARY)\n",
         stderr);
 }
 
@@ -92,6 +95,12 @@ parseCompareArgs(int argc, const char *const *argv,
                 return false;
             }
             result.freshPath = value;
+        } else if (name == "--markdown") {
+            if (!cursor.value(&value)) {
+                *error = "--markdown needs a path";
+                return false;
+            }
+            result.markdownPath = value;
         } else if (name == "--tolerance") {
             if (!cursor.value(&value)) {
                 *error = "--tolerance needs a fraction";
@@ -232,6 +241,55 @@ formatNumber(double value)
     return text;
 }
 
+/** One rendered row of the --markdown table. */
+struct MarkdownRow
+{
+    std::string id;
+    double freshRps = -1.0;
+    double baseRps = -1.0;
+    double freshAllocs = -1.0;
+    double freshRss = -1.0;
+    bool ok = true;
+};
+
+/** Render the per-point speedup table for $GITHUB_STEP_SUMMARY. */
+bool
+writeMarkdown(const std::string &path,
+              const std::vector<MarkdownRow> &rows, double tolerance,
+              int failure_count)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << "### bench_sim_speed vs committed baseline\n\n";
+    out << "| point | req/s | baseline req/s | speedup | allocs/req "
+        << "| peak RSS (MiB) | status |\n";
+    out << "|---|---:|---:|---:|---:|---:|---|\n";
+    for (const MarkdownRow &row : rows) {
+        char line[256];
+        const double speedup = row.baseRps > 0.0 && row.freshRps >= 0.0
+            ? row.freshRps / row.baseRps
+            : 0.0;
+        std::snprintf(line, sizeof(line),
+                      "| `%s` | %.1f | %.1f | %.2fx | %.2f | %.1f "
+                      "| %s |\n",
+                      row.id.c_str(), row.freshRps, row.baseRps,
+                      speedup, row.freshAllocs, row.freshRss,
+                      row.ok ? "ok" : "**FAIL**");
+        out << line;
+    }
+    out << "\n";
+    if (failure_count != 0) {
+        out << "**" << failure_count << " regression"
+            << (failure_count == 1 ? "" : "s")
+            << "** (tolerance " << formatNumber(tolerance) << ")\n";
+    } else {
+        out << "No regressions (tolerance " << formatNumber(tolerance)
+            << ").\n";
+    }
+    return static_cast<bool>(out);
+}
+
 } // namespace
 
 int
@@ -331,8 +389,10 @@ main(int argc, char **argv)
     const JsonValue *base_derived = baseline.find("derived");
     const JsonValue *fresh_derived = fresh.find("derived");
     std::size_t speed_checks = 0;
+    std::vector<MarkdownRow> markdown_rows;
     for (const JsonValue &point : fresh_points->array()) {
         const std::string id = point.find("id")->string();
+        const int failures_before = failures;
         const auto speedKey = [&](const char *leaf) {
             return "speed." + id + "." + leaf;
         };
@@ -396,11 +456,28 @@ main(int argc, char **argv)
                         + formatNumber(base_rss) + ")");
             }
         }
+
+        MarkdownRow row;
+        row.id = id;
+        row.freshRps = fresh_rps;
+        row.baseRps = base_rps;
+        row.freshAllocs = fresh_allocs;
+        row.freshRss = fresh_rss;
+        row.ok = failures == failures_before;
+        markdown_rows.push_back(row);
     }
     if (speed_checks == 0) {
         std::fprintf(stderr,
                      "perf_compare: no overlapping speed.* keys "
                      "between the documents\n");
+        return 2;
+    }
+
+    if (!options.markdownPath.empty()
+        && !writeMarkdown(options.markdownPath, markdown_rows,
+                          options.tolerance, failures)) {
+        std::fprintf(stderr, "perf_compare: cannot write '%s'\n",
+                     options.markdownPath.c_str());
         return 2;
     }
 
