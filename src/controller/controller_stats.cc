@@ -22,6 +22,7 @@ ControllerStats::reset()
     issuedWrites = 0;
     latency.reset();
     samples.clear();
+    leafTrace.clear();
 }
 
 double

@@ -42,6 +42,24 @@ struct ControllerStats
     Histogram latency{100.0, 200};
     std::vector<LatencySample> samples;
 
+    /**
+     * Attacker-visible data-tree leaf sequence, in commit order, dummy
+     * and real accesses alike — exactly what a DRAM bus observer sees.
+     * Off by default (unbounded growth); drivers that run the security
+     * gates flip recordLeafTrace before the first access. leafSpace is
+     * the data tree's leaf count, the trace's alphabet size.
+     */
+    bool recordLeafTrace = false;
+    std::uint64_t leafSpace = 0;
+    std::vector<Leaf> leafTrace;
+
+    /** Append one observed data-level leaf (no-op unless enabled). */
+    void observeLeaf(Leaf leaf)
+    {
+        if (recordLeafTrace)
+            leafTrace.push_back(leaf);
+    }
+
     void reset();
 
     /** Fraction of busy cycles spent stalled (ORAM-sync, Fig. 3b). */

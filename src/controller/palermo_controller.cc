@@ -24,6 +24,7 @@ PalermoController::PalermoController(std::unique_ptr<PalermoOram> protocol,
     pes_.resize(config.columns);
     cols_.resize(config.columns);
     clearedThrough_ = {0, 0, 0};
+    stats_.leafSpace = protocol_->engine(kLevelData).params().numLeaves;
 }
 
 bool
@@ -194,6 +195,9 @@ PalermoController::stepPe(unsigned col, unsigned level, DramSystem &dram)
             // pre-check reshuffles, applied in per-tree commit order.
             protocol_->beginLevelInto(level, ctx.ids[level], &pe.plan);
             if (level == kLevelData) {
+                // The plan's old leaf is the path ReadPath will touch:
+                // this is the commit-ordered attacker-visible address.
+                stats_.observeLeaf(pe.plan.oldLeaf);
                 ctx.readValue =
                     protocol_->finishData(ctx.pa, ctx.write, ctx.value);
             }

@@ -20,6 +20,7 @@ SerialController::SerialController(std::unique_ptr<Protocol> protocol,
 {
     palermo_assert(protocol_ != nullptr);
     palermo_assert(issue_width > 0 && queue_limit > 0);
+    stats_.leafSpace = protocol_->dataLeaves();
 }
 
 bool
@@ -38,6 +39,11 @@ SerialController::push(BlockId pa, bool write, std::uint64_t value,
     planScratch_.clear();
     protocol_->accessInto(pa, write, value, &planScratch_);
     for (RequestPlan &plan : planScratch_) {
+        // Admission order is execution order here, so the data-level
+        // path of each plan is the attacker-visible address in order.
+        for (const LevelPlan &level : plan.levels)
+            if (level.level == kLevelData)
+                stats_.observeLeaf(level.oldLeaf);
         Pending pending;
         pending.plan = std::move(plan);
         pending.dummy = dummy || pending.plan.dummy;

@@ -210,6 +210,9 @@ class Protocol
     /** Blocks of the protected space (for trace sizing). */
     virtual std::uint64_t numBlocks() const = 0;
 
+    /** Leaves of the data tree (the attacker-visible address space). */
+    virtual std::uint64_t dataLeaves() const = 0;
+
   protected:
     PlanRecycler recycler_; ///< Plan free list shared by subclasses.
 };

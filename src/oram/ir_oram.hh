@@ -50,6 +50,10 @@ class IrOram : public Protocol
     const Stash &stashOf(unsigned level) const override;
     Stash &stashOf(unsigned level) override;
     std::uint64_t numBlocks() const override { return config_.numBlocks; }
+    std::uint64_t dataLeaves() const override
+    {
+        return engines_[kLevelData]->params().numLeaves;
+    }
 
     const IrOramStats &irStats() const { return irStats_; }
     PathEngine &engine(unsigned level) { return *engines_[level]; }

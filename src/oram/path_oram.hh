@@ -31,6 +31,10 @@ class PathOram : public Protocol
     const Stash &stashOf(unsigned level) const override;
     Stash &stashOf(unsigned level) override;
     std::uint64_t numBlocks() const override { return config_.numBlocks; }
+    std::uint64_t dataLeaves() const override
+    {
+        return engines_[kLevelData]->params().numLeaves;
+    }
 
     PathEngine &engine(unsigned level) { return *engines_[level]; }
     const PosMap &posMap(unsigned level) const { return *posMaps_[level]; }

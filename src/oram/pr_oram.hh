@@ -59,6 +59,10 @@ class PrOram : public Protocol
     const Stash &stashOf(unsigned level) const override;
     Stash &stashOf(unsigned level) override;
     std::uint64_t numBlocks() const override { return config_.numBlocks; }
+    std::uint64_t dataLeaves() const override
+    {
+        return engines_[kLevelData]->params().numLeaves;
+    }
 
     const PrOramStats &prStats() const { return prStats_; }
     PathEngine &engine(unsigned level) { return *engines_[level]; }

@@ -34,6 +34,10 @@ class RingOram : public Protocol
     {
         return config_.numBlocks;
     }
+    std::uint64_t dataLeaves() const override
+    {
+        return engines_[kLevelData]->params().numLeaves;
+    }
 
     RingEngine &engine(unsigned level) { return *engines_[level]; }
     const PosMap &posMap(unsigned level) const { return *posMaps_[level]; }

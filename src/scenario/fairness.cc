@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Jain's index and slowdown arithmetic.
+ */
+
+#include "scenario/fairness.hh"
+
+namespace palermo {
+
+double
+jainIndex(const std::vector<double> &allocations)
+{
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (double x : allocations) {
+        sum += x;
+        sum_sq += x * x;
+    }
+    if (allocations.empty() || sum_sq <= 0.0)
+        return 1.0;
+    return (sum * sum)
+        / (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+double
+slowdownOf(double shared, double isolated)
+{
+    if (isolated <= 0.0)
+        return 1.0;
+    return shared / isolated;
+}
+
+} // namespace palermo

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Cross-tenant fairness and interference statistics.
+ *
+ * Jain's fairness index condenses per-tenant allocations into one
+ * scalar in (0, 1]: 1 when every tenant gets the same share, 1/n when
+ * one tenant takes everything. The scenario engine applies it to
+ * achieved throughput (who got served) and to slowdown-vs-isolation
+ * (who paid for the sharing), so a saturated mix reads as two numbers
+ * instead of N latency tables.
+ */
+
+#ifndef PALERMO_SCENARIO_FAIRNESS_HH
+#define PALERMO_SCENARIO_FAIRNESS_HH
+
+#include <vector>
+
+namespace palermo {
+
+/**
+ * Jain's fairness index: (sum x)^2 / (n * sum x^2) over non-negative
+ * allocations. Returns 1.0 for empty or all-zero input (nothing is
+ * being divided, so nothing is unfair).
+ */
+double jainIndex(const std::vector<double> &allocations);
+
+/**
+ * Slowdown of a shared-run statistic against its isolated baseline:
+ * shared / isolated, with degenerate baselines (isolated <= 0)
+ * reported as 1.0 (no measurable interference).
+ */
+double slowdownOf(double shared, double isolated);
+
+} // namespace palermo
+
+#endif // PALERMO_SCENARIO_FAIRNESS_HH

@@ -114,6 +114,8 @@ ObliviousKvService::reap()
         if (!measuring_
             && completedTotal_ >= config_.warmupCompletions)
             beginMeasurement();
+        if (sink_)
+            sink_(ServiceCompletion{entry.tenant, entry.arrival, now});
     }
     return completions;
 }

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "common/pool.hh"
@@ -58,6 +59,14 @@ struct ServiceConfig
      * session's internal warmup agrees (the loadgen does this).
      */
     std::uint64_t warmupCompletions = 0;
+};
+
+/** One attributed response, as seen at the service boundary. */
+struct ServiceCompletion
+{
+    std::uint32_t tenant;
+    Tick arrival;    ///< Client-side issue tick.
+    Tick completion; ///< Tick the response landed.
 };
 
 /** One KV serving instance. */
@@ -101,6 +110,40 @@ class ObliviousKvService
     /** Responses delivered since construction (warmup included). */
     std::uint64_t completedTotal() const { return completedTotal_; }
 
+    /**
+     * Observe every attributed completion (warmup included), in
+     * completion order. Closed-loop sources use this to re-issue;
+     * the sink must not call back into the service (it fires inside
+     * step()).
+     */
+    void setCompletionSink(
+        std::function<void(const ServiceCompletion &)> sink)
+    {
+        sink_ = std::move(sink);
+    }
+
+    /**
+     * Record the attacker-visible data-tree leaf sequence from here
+     * on. The trace spans warmup and the measured window alike — a
+     * bus observer never stops watching.
+     */
+    void enableLeafTrace()
+    {
+        session_.controller().stats().recordLeafTrace = true;
+    }
+
+    /** Observed leaf sequence (empty unless enableLeafTrace ran). */
+    const std::vector<Leaf> &leafTrace() const
+    {
+        return session_.controller().stats().leafTrace;
+    }
+
+    /** Data-tree leaf count (the trace's alphabet size). */
+    std::uint64_t leafSpace() const
+    {
+        return session_.controller().stats().leafSpace;
+    }
+
     /** Condense the service view (measured window only). */
     ServiceSnapshot snapshot() const;
 
@@ -136,6 +179,7 @@ class ObliviousKvService
      * the admission queue: steady-state serving stays off the heap. */
     std::deque<InFlight, PoolAllocator<InFlight>> inflight_;
 
+    std::function<void(const ServiceCompletion &)> sink_;
     ServiceStats global_;
     std::vector<ServiceStats> perTenant_;
     std::uint64_t completedTotal_ = 0;

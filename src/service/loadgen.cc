@@ -61,16 +61,6 @@ splitList(const std::string &text, std::vector<std::string> *fields)
 
 } // namespace
 
-const char *
-arrivalProcessName(ArrivalProcess process)
-{
-    switch (process) {
-      case ArrivalProcess::Poisson: return "poisson";
-      case ArrivalProcess::Fixed: return "fixed";
-    }
-    return "poisson";
-}
-
 bool
 parseLoadgenArgs(int argc, const char *const *argv,
                  LoadgenOptions *options, std::string *error)
@@ -270,38 +260,14 @@ expandLoadPoints(const LoadgenOptions &options)
 
 namespace {
 
-/** Deterministic key source: one sampler per tenant namespace. */
-class KeySource
+/** Bind the shared key sampler to a load point's options and seed. */
+TenantKeySampler
+keySourceFor(const LoadgenOptions &options, std::uint64_t slice_size,
+             std::uint64_t point_seed)
 {
-  public:
-    KeySource(const LoadgenOptions &options, std::uint64_t slice_size,
-              std::uint64_t point_seed)
-        : dist_(options.dist), sliceSize_(slice_size),
-          rng_(mix64(point_seed ^ 0x6b657964726177ull))
-    {
-        if (dist_ == KeyDist::Zipf) {
-            zipf_.reserve(options.tenants);
-            for (unsigned t = 0; t < options.tenants; ++t)
-                zipf_.emplace_back(
-                    slice_size, options.zipfAlpha,
-                    mix64(point_seed ^ (0x5a49u + t)));
-        }
-    }
-
-    std::uint64_t
-    draw(unsigned tenant)
-    {
-        if (dist_ == KeyDist::Zipf)
-            return zipf_[tenant].sample();
-        return rng_.range(sliceSize_);
-    }
-
-  private:
-    KeyDist dist_;
-    std::uint64_t sliceSize_;
-    Rng rng_;
-    std::vector<ZipfSampler> zipf_;
-};
+    return TenantKeySampler(options.dist, options.zipfAlpha,
+                            options.tenants, slice_size, point_seed);
+}
 
 /** One not-yet-accepted arrival held at the client (Block policy). */
 struct PendingArrival
@@ -392,18 +358,13 @@ runOpenLoop(const LoadgenOptions &options, const LoadPointSpec &spec)
     const std::uint64_t point_seed =
         mix64(service.config().system.seed ^ (0x6f70656eull + spec.index));
     Rng rng(mix64(point_seed ^ 0x617272697665ull));
-    KeySource keys(options, service.tenants().sliceSize(), point_seed);
+    TenantKeySampler keys =
+        keySourceFor(options, service.tenants().sliceSize(), point_seed);
 
     const double mean_gap = 1000.0 / spec.rate;
     // Exact arrival instants accumulate in double so fixed-interval
     // sweeps do not drift; ticks are the floor of the exact instant.
-    double next_exact = 0.0;
-    const auto sample_gap = [&]() {
-        if (options.arrival == ArrivalProcess::Fixed)
-            return mean_gap;
-        return -std::log(1.0 - rng.uniform()) * mean_gap;
-    };
-    next_exact += sample_gap();
+    double next_exact = arrivalGap(options.arrival, mean_gap, rng);
 
     std::uint64_t generated = 0;
     std::deque<PendingArrival> blocked;
@@ -444,7 +405,7 @@ runOpenLoop(const LoadgenOptions &options, const LoadPointSpec &spec)
             == Admission::WouldBlock)
             blocked.push_back(arrival);
         ++generated;
-        next_exact += sample_gap();
+        next_exact += arrivalGap(options.arrival, mean_gap, rng);
     }
     service.drainAll();
     return condenseRecord(options, spec, service);
@@ -462,7 +423,8 @@ runClosedLoop(const LoadgenOptions &options, const LoadPointSpec &spec)
     const std::uint64_t point_seed = mix64(
         service.config().system.seed ^ (0x636c6f736564ull + spec.index));
     Rng rng(mix64(point_seed ^ 0x617272697665ull));
-    KeySource keys(options, service.tenants().sliceSize(), point_seed);
+    TenantKeySampler keys =
+        keySourceFor(options, service.tenants().sliceSize(), point_seed);
 
     std::uint64_t issued = 0;
     const auto issue = [&](Tick arrival) {
@@ -526,9 +488,8 @@ loadgenDocument(const std::vector<ServiceRunRecord> &records)
     for (const ServiceRunRecord &record : records)
         max_achieved = std::max(max_achieved,
                                 record.service.achievedPerKilocycle);
-    w.key("derived").beginObject();
-    w.field("max_achieved_per_kilocycle", max_achieved);
-    w.endObject();
+    MetricsJson::writeDerived(
+        w, {{"max_achieved_per_kilocycle", max_achieved}});
     w.endObject();
     std::string text = w.str();
     text.push_back('\n');

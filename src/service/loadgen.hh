@@ -26,26 +26,11 @@
 #include <string>
 #include <vector>
 
+#include "scenario/arrival.hh"
 #include "service/kv_service.hh"
 #include "sim/metrics_json.hh"
 
 namespace palermo {
-
-/** How open-loop arrival instants are spaced. */
-enum class ArrivalProcess
-{
-    Poisson, ///< Exponential inter-arrival gaps (memoryless clients).
-    Fixed,   ///< Constant inter-arrival gaps (paced clients).
-};
-
-const char *arrivalProcessName(ArrivalProcess process);
-
-/** How keys are drawn within a tenant's namespace. */
-enum class KeyDist
-{
-    Zipf,    ///< Skewed popularity (hot keys), alpha-parameterized.
-    Uniform, ///< Every key equally likely.
-};
 
 /** Everything palermo_loadgen accepts on its command line. */
 struct LoadgenOptions

@@ -335,6 +335,16 @@ MetricsJson::writeRecord(JsonWriter &w, const RunRecord &record,
     w.endObject();
 }
 
+void
+MetricsJson::writeDerived(JsonWriter &w,
+                          const std::map<std::string, double> &derived)
+{
+    w.key("derived").beginObject();
+    for (const auto &[name, value] : derived)
+        w.field(name, value);
+    w.endObject();
+}
+
 std::string
 MetricsJson::document(const std::string &tool,
                       const std::vector<RunRecord> &records,
@@ -347,10 +357,7 @@ MetricsJson::document(const std::string &tool,
     for (const RunRecord &record : records)
         writeRecord(w, record);
     w.endArray();
-    w.key("derived").beginObject();
-    for (const auto &[name, value] : derived)
-        w.field(name, value);
-    w.endObject();
+    writeDerived(w, derived);
     w.endObject();
     std::string text = w.str();
     text.push_back('\n');

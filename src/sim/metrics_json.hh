@@ -127,6 +127,13 @@ class MetricsJson
         JsonWriter &w, const RunRecord &record,
         const std::function<void(JsonWriter &)> &extra = nullptr);
 
+    /**
+     * Append the "derived" cross-point scalar map (sorted, so the
+     * rendering is order-stable regardless of insertion order).
+     */
+    static void writeDerived(JsonWriter &w,
+                             const std::map<std::string, double> &derived);
+
     /** Append a SystemConfig object under the current key. */
     static void writeConfig(JsonWriter &w, const SystemConfig &config);
 

@@ -1,0 +1,52 @@
+/**
+ * @file Fairness-statistic tests: Jain's index bounds and edge cases,
+ * slowdown ratio semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scenario/fairness.hh"
+
+namespace palermo {
+namespace {
+
+TEST(FairnessTest, JainIndexEqualSharesIsOne)
+{
+    EXPECT_DOUBLE_EQ(jainIndex({3.0, 3.0, 3.0, 3.0}), 1.0);
+    EXPECT_DOUBLE_EQ(jainIndex({0.5}), 1.0);
+}
+
+TEST(FairnessTest, JainIndexStarvationApproachesOneOverN)
+{
+    const double jain = jainIndex({10.0, 0.0, 0.0, 0.0});
+    EXPECT_NEAR(jain, 0.25, 1e-12);
+}
+
+TEST(FairnessTest, JainIndexOrderIndependentAndBounded)
+{
+    const double a = jainIndex({1.0, 2.0, 4.0});
+    const double b = jainIndex({4.0, 1.0, 2.0});
+    EXPECT_DOUBLE_EQ(a, b);
+    EXPECT_GT(a, 1.0 / 3.0);
+    EXPECT_LT(a, 1.0);
+}
+
+TEST(FairnessTest, JainIndexDegenerateInputs)
+{
+    // Empty and all-zero vectors are defined as perfectly fair: there
+    // is nothing to be unfair about.
+    EXPECT_DOUBLE_EQ(jainIndex({}), 1.0);
+    EXPECT_DOUBLE_EQ(jainIndex({0.0, 0.0}), 1.0);
+}
+
+TEST(FairnessTest, SlowdownRatioAndDegeneracy)
+{
+    EXPECT_DOUBLE_EQ(slowdownOf(300.0, 100.0), 3.0);
+    EXPECT_DOUBLE_EQ(slowdownOf(100.0, 100.0), 1.0);
+    // No isolated baseline -> neutral slowdown, not a division blowup.
+    EXPECT_DOUBLE_EQ(slowdownOf(100.0, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(slowdownOf(100.0, -5.0), 1.0);
+}
+
+} // namespace
+} // namespace palermo
